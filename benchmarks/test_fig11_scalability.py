@@ -1,0 +1,51 @@
+"""Bench for Fig. 11 — scalability with cluster size (20 / 30 / 40 workers).
+
+Shape assertions, per the paper's two scenarios on CIFAR-10:
+
+* target-accuracy: SpecSync-Adaptive outruns Original at every size;
+* fixed-budget: Adaptive's loss at the budget is lower at every size;
+* the advantage does not shrink as the cluster grows (the paper reports it
+  *increasing* with size).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ExperimentScale, run_fig11
+
+SCALE = ExperimentScale.from_env()
+
+
+def test_fig11_scalability(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig11(SCALE))
+    archive("fig11_scalability", result.render())
+
+    sizes = sorted(result.time_to_target)
+    for size in sizes:
+        orig_loss = result.loss_at_budget[size]["original"]
+        spec_loss = result.loss_at_budget[size]["adaptive"]
+        # Adaptive never does materially worse at the budget; at small
+        # sizes (low staleness) the two can tie.
+        assert spec_loss < orig_loss * 1.02, (
+            f"{size} workers: adaptive loss {spec_loss:.3f} "
+            f"vs original {orig_loss:.3f} at budget"
+        )
+
+    if SCALE is not ExperimentScale.FULL:
+        return
+    largest = sizes[-1]
+    for size in sizes:
+        speedup = result.speedup(size)
+        if speedup is not None:
+            assert speedup >= 0.95, f"{size} workers: speedup {speedup:.2f}x"
+    largest_speedup = result.speedup(largest)
+    assert largest_speedup is not None and largest_speedup > 1.5, (
+        f"largest cluster speedup {largest_speedup}"
+    )
+    # The paper's headline: the advantage grows with cluster size — both
+    # the fixed-budget improvement and the strict win at the largest size.
+    assert result.loss_improvement(largest) > 0, "no gain at 40 workers"
+    assert result.loss_improvement(largest) >= (
+        result.loss_improvement(sizes[0]) - 0.005
+    ), (
+        f"improvement shrank: {result.loss_improvement(sizes[0]):.1%} -> "
+        f"{result.loss_improvement(largest):.1%}"
+    )

@@ -1,0 +1,40 @@
+"""Bench for Fig. 12 — accumulated data transfer over time.
+
+Shape assertions (paper Section VI-D):
+
+* SpecSync-Adaptive's transfer *rate* stays close to Original's (the
+  re-pull + control overhead per unit time is small);
+* because Adaptive converges sooner, its total transfer **to convergence**
+  is smaller — the paper's CIFAR-10 example saves ~40% (3.17 TB → 2.00 TB).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ExperimentScale, run_fig12
+
+SCALE = ExperimentScale.from_env()
+
+
+def test_fig12_accumulated_transfer(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig12(SCALE))
+    archive("fig12_transfer", result.render())
+
+    for workload in result.rate:
+        overhead = result.rate_overhead(workload)
+        # "very little additional bandwidth": allow a modest rate bump from
+        # abort-triggered re-pulls.
+        assert overhead < 0.5, f"{workload}: rate overhead {overhead:.0%}"
+
+        if SCALE is not ExperimentScale.FULL:
+            continue
+        saving = result.transfer_saving(workload)
+        assert saving is not None, f"{workload}: both schemes must converge"
+        assert saving > 0.15, (
+            f"{workload}: transfer saving to convergence only {saving:.0%}"
+        )
+
+    for workload, per_scheme in result.series.items():
+        for scheme, series in per_scheme.items():
+            values = [v for _, v in series]
+            assert all(a <= b for a, b in zip(values, values[1:])), (
+                f"{workload}/{scheme}: cumulative transfer must be monotone"
+            )

@@ -1,0 +1,31 @@
+"""Bench for Fig. 13 — transfer breakdown for SpecSync-Adaptive.
+
+Shape assertions: parameter traffic (pulls + pushes) dominates; the control
+traffic SpecSync adds (notify / re-sync / request / ack messages) is a
+negligible share — the property that justifies the centralized scheduler
+(paper Section V-A, VI-D).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ExperimentScale, run_fig13
+
+SCALE = ExperimentScale.from_env()
+
+
+def test_fig13_transfer_breakdown(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig13(SCALE))
+    archive("fig13_breakdown", result.render())
+
+    for workload, per_cat in result.breakdown.items():
+        assert per_cat.get("pull", 0) > 0, f"{workload}: no pull traffic?"
+        assert per_cat.get("push", 0) > 0, f"{workload}: no push traffic?"
+        # SpecSync restarts add re-pulls, so pull >= push.
+        assert per_cat["pull"] >= per_cat["push"] * 0.99
+
+        control_share = result.control_fraction(workload)
+        assert control_share < 0.005, (
+            f"{workload}: control traffic share {control_share:.3%}"
+        )
+
+        by_kind = result.by_kind[workload]
+        assert by_kind.get("notify", 0) > 0, f"{workload}: notifies missing"

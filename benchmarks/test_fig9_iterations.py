@@ -1,0 +1,30 @@
+"""Bench for Fig. 9 — loss versus iterations.
+
+Shape assertions: SpecSync needs *fewer* cluster-wide iterations to reach
+the target (the paper reports up to 58% fewer), because each (possibly
+restarted) iteration computes on fresher parameters.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ExperimentScale, run_fig9
+
+SCALE = ExperimentScale.from_env()
+
+
+def test_fig9_iterations_to_convergence(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig9(SCALE))
+    archive("fig9_iterations", result.render())
+
+    if SCALE is not ExperimentScale.FULL:
+        return
+    reductions = []
+    for workload, per_scheme in result.iterations_to_target.items():
+        assert per_scheme["adaptive"] is not None, f"{workload}: must converge"
+        reduction = result.iteration_reduction(workload)
+        assert reduction is not None
+        assert reduction > 0.15, (
+            f"{workload}: iteration reduction only {reduction:.0%}"
+        )
+        reductions.append(reduction)
+    # "up to 58% fewer iterations": the best workload should save a lot.
+    assert max(reductions) > 0.4, f"best reduction {max(reductions):.0%}"

@@ -1,0 +1,27 @@
+"""Bench for Table I — workload characterization.
+
+Regenerates the table and checks the measured iteration times land on the
+paper's 3 s / 14 s / 70 s column.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import ExperimentScale, run_table1
+
+SCALE = ExperimentScale.from_env()
+
+
+def test_table1_workload_characterization(benchmark, archive):
+    result = run_once(benchmark, lambda: run_table1(SCALE))
+    archive("table1", result.render())
+
+    assert len(result.rows) == 3
+    by_name = {row.workload: row for row in result.rows}
+    assert by_name["mf"].num_parameters == 4_200_000
+    assert by_name["cifar10"].num_parameters == 2_500_000
+    assert by_name["imagenet"].num_parameters == 5_900_000
+    for row in result.rows:
+        assert row.measured_iteration_time_s == pytest.approx(
+            row.paper_iteration_time_s, rel=0.2
+        ), f"{row.workload}: measured {row.measured_iteration_time_s}"

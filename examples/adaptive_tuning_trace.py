@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Watch Algorithm 1 tune ABORT_TIME / ABORT_RATE epoch by epoch.
+
+Runs SpecSync-Adaptive on the matrix-factorization workload and prints the
+hyperparameters the scheduler chose at each epoch boundary, together with
+the freshness-improvement estimate that picked them.  The tuned window
+settles near a fraction of the iteration time, and the rate follows
+Algorithm 1 line 7 (Γ = Δ·(m−1)/(T·m)).
+
+Run:
+    python examples/adaptive_tuning_trace.py      (~30 seconds)
+"""
+
+from repro import ClusterSpec, SpecSyncPolicy
+from repro.utils.tables import TextTable
+from repro.workloads import matrix_factorization_workload
+
+
+def main() -> None:
+    workload = matrix_factorization_workload()
+    cluster = ClusterSpec.homogeneous(40)
+    policy = SpecSyncPolicy.adaptive()
+    result = workload.run(cluster, policy, seed=3, horizon_s=400.0)
+
+    scheduler = policy.scheduler
+    table = TextTable(
+        ["epoch", "virtual time", "ABORT_TIME", "ABORT_RATE",
+         "threshold (m x rate)"],
+        title=f"Algorithm 1 tuning trace ({cluster.num_workers} workers, MF)",
+    )
+    for epoch, (time, hyperparams) in enumerate(scheduler.hyperparam_log[:25]):
+        if hyperparams is None:
+            table.add_row([epoch, f"{time:.0f}s", "-", "-", "speculation off"])
+            continue
+        table.add_row(
+            [
+                epoch,
+                f"{time:.0f}s",
+                f"{hyperparams.abort_time_s:.3f}s",
+                f"{hyperparams.abort_rate:.3f}",
+                f"{hyperparams.threshold_count(cluster.num_workers):.1f} pushes",
+            ]
+        )
+    print(table.render())
+    print(
+        f"\nepochs tuned: {scheduler.epochs_completed}, "
+        f"re-syncs sent: {scheduler.resyncs_sent}, "
+        f"aborts honored: {result.total_aborts}"
+    )
+    print(
+        f"mean iteration time ~{workload.paper_iteration_time_s:.0f}s -> "
+        "the tuned window settles at a fraction of it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""SpecSync across real OS processes — the strongest protocol validation.
+
+Workers are ``multiprocessing`` processes with no shared memory; the
+parameter server is its own process; pulls, pushes, and notifications cross
+real pipes; and the central scheduler (running in the parent, like the
+paper's Fig. 7 architecture) aborts workers through IPC events.  Compare
+the ASP and SpecSync rows: the abort machinery works identically to the
+simulator, on genuinely concurrent hardware.
+
+Run:
+    python examples/multiprocess_backend.py      (~3 seconds)
+"""
+
+import numpy as np
+
+from repro.cluster.compute import ComputeTimeModel
+from repro.core.tuning import AdaptiveTuner
+from repro.ml import SoftmaxRegressionModel, SyntheticImageDataset
+from repro.ml.optim import ConstantSchedule, SgdUpdateRule
+from repro.runtime import MultiprocessRun
+from repro.utils.tables import TextTable
+
+
+def build_run(tuner):
+    dataset = SyntheticImageDataset(
+        num_classes=5, feature_dim=12, num_samples=2500,
+        class_separation=3.0, warp=False, seed=0,
+    )
+    partitions = dataset.partition(6, np.random.default_rng(0))
+    return MultiprocessRun(
+        model=SoftmaxRegressionModel(input_dim=12, num_classes=5),
+        partitions=partitions,
+        eval_batch=dataset.eval_batch(),
+        update_rule=SgdUpdateRule(ConstantSchedule(0.3)),
+        compute_model=ComputeTimeModel(mean_time_s=4.0, jitter_sigma=0.1),
+        batch_size=48,
+        time_scale=0.003,  # 1 virtual second -> 3 ms wall
+        tuner=tuner,
+        seed=1,
+    )
+
+
+def main() -> None:
+    table = TextTable(
+        ["backend", "iterations", "aborts", "re-syncs", "epochs tuned",
+         "mean staleness", "final loss"],
+        title="Multi-process backend: 6 worker processes + 1 server process",
+    )
+    for label, tuner in [
+        ("processes + ASP", None),
+        ("processes + SpecSync-Adaptive", AdaptiveTuner()),
+    ]:
+        result = build_run(tuner).run(duration_s=1.2)
+        table.add_row(
+            [
+                label,
+                result.total_iterations,
+                result.total_aborts,
+                result.resyncs_sent,
+                result.epochs_tuned,
+                f"{result.mean_staleness:.2f}",
+                f"{result.final_loss:.4f}",
+            ]
+        )
+    print(table.render())
+    print(
+        "\nEvery pull/push/notify crossed a real OS pipe; aborts were "
+        "delivered through multiprocessing Events."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""A four-worker micro-cluster walkthrough of the paper's Fig. 2 / Fig. 6.
+
+The paper's running example uses four workers with different iteration
+times: asynchrony makes some workers compute on badly stale parameters
+(Fig. 2), and speculative synchronization fixes exactly the workers that
+would otherwise miss a burst of peer pushes (Fig. 6).  This script builds
+that situation deterministically — four workers with distinct constant
+iteration times, no jitter — runs SpecSync with fixed hyperparameters, and
+prints the event timeline (pulls, pushes, aborts) so the abort-and-refresh
+decisions are visible one by one.
+
+Run:
+    python examples/paper_walkthrough.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec, SpecSyncHyperparams, SpecSyncPolicy
+from repro.cluster.compute import ComputeTimeModel
+from repro.ps.engine import EngineConfig, TrainingEngine
+from repro.utils.tables import TextTable
+from repro.workloads import tiny_workload
+
+
+def main() -> None:
+    workload = tiny_workload()
+    cluster = ClusterSpec.homogeneous(4)
+    dataset = workload.dataset_factory(0)
+    partitions = dataset.partition(4, np.random.default_rng(0))
+
+    # Distinct, deterministic iteration times (the Fig. 2 setting).
+    compute_models = [
+        ComputeTimeModel(mean_time_s=t, jitter_sigma=0.0)
+        for t in (1.0, 1.35, 1.7, 2.05)
+    ]
+    # Fixed speculation: watch 0.5s after each pull; abort when >= 2 of the
+    # 4 workers (rate 0.4 -> threshold 1.6) pushed in that window.
+    policy = SpecSyncPolicy.cherrypick(
+        SpecSyncHyperparams(abort_time_s=0.5, abort_rate=0.4)
+    )
+    engine = TrainingEngine(
+        model=workload.model_factory(),
+        partitions=partitions,
+        eval_batch=dataset.eval_batch(),
+        update_rule=workload.update_rule_factory(),
+        policy=policy,
+        cluster=cluster,
+        base_compute_model=compute_models[0],
+        config=EngineConfig(
+            batch_size=16, horizon_s=12.0, eval_interval_s=4.0,
+            param_wire_bytes=1e5,
+        ),
+        seed=0,
+        compute_models=compute_models,
+        workload_name="walkthrough",
+    )
+    result = engine.run()
+
+    events = []
+    for pull in result.traces.pulls:
+        kind = "re-pull (after abort)" if pull.is_restart else "pull"
+        events.append((pull.time, pull.worker_id,
+                       f"{kind}  (model version {pull.version})"))
+    for push in result.traces.pushes:
+        events.append((push.time, push.worker_id,
+                       f"push  (missed {push.staleness} peer updates)"))
+    for abort in result.traces.aborts:
+        events.append((abort.time, abort.worker_id,
+                       f"ABORT (discarded {abort.wasted_compute_s:.2f}s of compute)"))
+    events.sort()
+
+    table = TextTable(["virtual time", "worker", "event"],
+                      title="SpecSync timeline, 4 workers (cf. paper Fig. 6)")
+    for time, worker, text in events:
+        table.add_row([f"{time:7.3f}s", f"worker-{worker}", text])
+    print(table.render())
+
+    print(
+        f"\n{result.total_aborts} aborts in {result.total_iterations} "
+        f"iterations; mean staleness {result.mean_staleness:.2f} "
+        f"(ASP on this cluster would sit near 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Dissect *why* SpecSync wins: the staleness distribution, before and after.
+
+Runs the MF workload under all five schemes on the paper's Cluster 1 and
+prints the distribution of per-push staleness (missed peer updates) — mean,
+median, tail — plus a per-worker view for the SpecSync run.  The point to
+look for: SpecSync cuts the mean and, more importantly, the harmful upper
+tail, while keeping iteration throughput close to ASP's.
+
+Run:
+    python examples/staleness_anatomy.py      (~2 minutes)
+"""
+
+from repro import (
+    AspPolicy,
+    BspPolicy,
+    ClusterSpec,
+    NaiveWaitingPolicy,
+    SpecSyncPolicy,
+    SspPolicy,
+)
+from repro.metrics.staleness import StalenessAnalysis, compare_staleness
+from repro.utils.tables import TextTable
+from repro.workloads import matrix_factorization_workload
+
+
+def main() -> None:
+    workload = matrix_factorization_workload()
+    cluster = ClusterSpec.homogeneous(40)
+    horizon = 600.0
+
+    schemes = {
+        "asp": AspPolicy(),
+        "bsp": BspPolicy(),
+        "ssp(s=3)": SspPolicy(3),
+        "naive-wait(1s)": NaiveWaitingPolicy(1.0),
+        "specsync-adaptive": SpecSyncPolicy.adaptive(),
+    }
+    traces = {}
+    iterations = {}
+    for name, policy in schemes.items():
+        result = workload.run(cluster, policy, seed=3, horizon_s=horizon)
+        traces[name] = result.traces
+        iterations[name] = result.total_iterations
+        print(f"finished {name}: {result.total_iterations} iterations")
+
+    print()
+    print(compare_staleness(traces))
+
+    throughput = TextTable(
+        ["scheme", "iterations in budget", "vs ASP"],
+        title=f"Update throughput over {horizon:.0f} virtual seconds",
+    )
+    for name, count in iterations.items():
+        throughput.add_row(
+            [name, count, f"{count / iterations['asp']:.0%}"]
+        )
+    print()
+    print(throughput.render())
+
+    spec_analysis = StalenessAnalysis(traces["specsync-adaptive"])
+    per_worker = spec_analysis.per_worker()
+    worst = max(per_worker.items(), key=lambda kv: kv[1].mean)
+    best = min(per_worker.items(), key=lambda kv: kv[1].mean)
+    print(
+        f"\nSpecSync per-worker staleness spread: best worker-{best[0]} "
+        f"mean {best[1].mean:.1f}, worst worker-{worst[0]} "
+        f"mean {worst[1].mean:.1f} — re-syncs keep the cluster's replicas "
+        "consistent, which is exactly the paper's freshness argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Run the SpecSync protocol on real threads instead of the simulator.
+
+Everything in the other examples runs on a deterministic virtual clock.
+This example exercises the *same* scheduler logic (notify → speculation
+window → re-sync) with genuine concurrency: worker threads, a lock-guarded
+parameter server, wall-clock timers.  Iteration times are scaled to
+milliseconds so the demo finishes in about a second.
+
+Run:
+    python examples/threaded_backend.py
+"""
+
+import numpy as np
+
+from repro.cluster.compute import ComputeTimeModel
+from repro.core.tuning import AdaptiveTuner
+from repro.ml import SoftmaxRegressionModel, SyntheticImageDataset
+from repro.ml.optim import ConstantSchedule, SgdUpdateRule
+from repro.runtime import ThreadedRun
+from repro.utils.tables import TextTable
+
+
+def build_run(tuner):
+    dataset = SyntheticImageDataset(
+        num_classes=5, feature_dim=12, num_samples=3000,
+        class_separation=3.0, warp=False, seed=0,
+    )
+    partitions = dataset.partition(8, np.random.default_rng(0))
+    return ThreadedRun(
+        model=SoftmaxRegressionModel(input_dim=12, num_classes=5),
+        partitions=partitions,
+        eval_batch=dataset.eval_batch(),
+        update_rule=SgdUpdateRule(ConstantSchedule(0.3)),
+        compute_model=ComputeTimeModel(mean_time_s=4.0, jitter_sigma=0.1),
+        batch_size=48,
+        time_scale=0.001,  # 1 virtual second -> 1 ms of wall time
+        tuner=tuner,
+        seed=1,
+    )
+
+
+def main() -> None:
+    table = TextTable(
+        ["backend", "iterations", "aborts", "re-syncs", "epochs tuned",
+         "mean staleness", "final loss"],
+        title="Threaded backend: 8 worker threads, 0.6s wall each",
+    )
+    for label, tuner in [
+        ("threads + ASP", None),
+        ("threads + SpecSync-Adaptive", AdaptiveTuner()),
+    ]:
+        result = build_run(tuner).run(duration_s=0.6)
+        table.add_row(
+            [
+                label,
+                result.total_iterations,
+                result.total_aborts,
+                result.resyncs_sent,
+                result.epochs_tuned,
+                f"{result.mean_staleness:.2f}",
+                f"{result.final_loss:.4f}",
+            ]
+        )
+    print(table.render())
+    print(
+        "\nThe SpecSync scheduler class here is the same object the "
+        "simulator uses — only the clock and timers differ."
+    )
+
+
+if __name__ == "__main__":
+    main()

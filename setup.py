@@ -1,0 +1,12 @@
+"""Legacy setup shim for environments without PEP-517 wheel support.
+
+``pip install -e .`` (with the ``wheel`` package available) reads
+pyproject.toml; on minimal offline machines ``python setup.py develop``
+works through this shim, including the ``repro`` console script.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

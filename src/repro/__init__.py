@@ -1,0 +1,77 @@
+"""repro — a from-scratch reproduction of *Stay Fresh: Speculative
+Synchronization for Fast Distributed Machine Learning* (ICDCS 2018).
+
+The package simulates a parameter-server ML cluster on a deterministic
+virtual clock, trains real numpy models through pluggable synchronization
+schemes (ASP / BSP / SSP / naïve waiting / SpecSync), and regenerates every
+table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import ClusterSpec, AspPolicy, SpecSyncPolicy
+    from repro.workloads import cifar10_workload
+
+    cluster = ClusterSpec.homogeneous(40)
+    workload = cifar10_workload()
+    baseline = workload.run(cluster, AspPolicy(), seed=1)
+    specsync = workload.run(cluster, SpecSyncPolicy.adaptive(), seed=1)
+    print(specsync.speedup_over(baseline, workload.convergence))
+"""
+
+from repro.cluster import ClusterSpec, InstanceType, ComputeTimeModel, StragglerModel
+from repro.core import (
+    AdaptiveTuner,
+    FixedTuner,
+    SpecSyncHyperparams,
+    SpecSyncPolicy,
+    SpecSyncScheduler,
+)
+from repro.events import Simulator
+from repro.metrics import ConvergenceCriterion, LossCurve, PapAnalysis, TraceRecorder
+from repro.ml import ParamSet
+from repro.netsim import Network, TransferLedger
+from repro.ps import EngineConfig, ParameterStore, RunResult, TrainingEngine
+from repro.sync import AspPolicy, BspPolicy, NaiveWaitingPolicy, SspPolicy
+from repro.workloads import (
+    Workload,
+    cifar10_workload,
+    imagenet_workload,
+    matrix_factorization_workload,
+    tiny_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSpec",
+    "InstanceType",
+    "ComputeTimeModel",
+    "StragglerModel",
+    "AdaptiveTuner",
+    "FixedTuner",
+    "SpecSyncHyperparams",
+    "SpecSyncPolicy",
+    "SpecSyncScheduler",
+    "Simulator",
+    "ConvergenceCriterion",
+    "LossCurve",
+    "PapAnalysis",
+    "TraceRecorder",
+    "ParamSet",
+    "Network",
+    "TransferLedger",
+    "EngineConfig",
+    "ParameterStore",
+    "RunResult",
+    "TrainingEngine",
+    "AspPolicy",
+    "BspPolicy",
+    "NaiveWaitingPolicy",
+    "SspPolicy",
+    "Workload",
+    "cifar10_workload",
+    "imagenet_workload",
+    "matrix_factorization_workload",
+    "tiny_workload",
+    "__version__",
+]

@@ -1,0 +1,268 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    repro list                          # available workloads and schemes
+    repro run --workload mf --scheme adaptive --workers 40
+    repro compare --workload cifar10 --schemes original adaptive
+    repro experiment fig8               # regenerate a paper table/figure
+
+Every experiment the benchmark harness runs is reachable from here, so the
+paper's evaluation can be regenerated without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments import (
+    ExperimentScale,
+    run_fig3,
+    run_fig5,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_table1,
+    run_table2,
+    scheme_catalog,
+)
+from repro.experiments import ablations as _ablations
+from repro.metrics.serialize import run_summary_to_dict, traces_to_jsonl
+from repro.utils.ascii_plot import ascii_plot
+from repro.utils.tables import TextTable, format_bytes
+from repro.workloads import (
+    cifar10_workload,
+    imagenet_workload,
+    matrix_factorization_workload,
+    tiny_workload,
+)
+
+__all__ = ["main", "build_parser"]
+
+WORKLOADS: Dict[str, Callable] = {
+    "mf": matrix_factorization_workload,
+    "cifar10": cifar10_workload,
+    "imagenet": imagenet_workload,
+    "tiny": tiny_workload,
+}
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentScale], object]] = {
+    "table1": run_table1,
+    "fig3": run_fig3,
+    "fig5": run_fig5,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "table2": run_table2,
+    "ablation-broadcast": _ablations.run_ablation_broadcast,
+    "ablation-ssp": _ablations.run_ablation_specsync_ssp,
+    "ablation-abort-budget": _ablations.run_ablation_abort_budget,
+    "ablation-sensitivity": _ablations.run_ablation_sensitivity,
+    "ablation-optimizer": _ablations.run_ablation_optimizer,
+    "ablation-failure-injection": _ablations.run_ablation_failure_injection,
+    "ablation-orthogonality": _ablations.run_ablation_orthogonality,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpecSync reproduction: run workloads, compare schemes, "
+                    "regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, schemes, and experiments")
+
+    run_parser = sub.add_parser("run", help="run one scheme on one workload")
+    _add_run_args(run_parser)
+    run_parser.add_argument("--scheme", default="adaptive",
+                            help="scheme key (see `repro list`)")
+    run_parser.add_argument("--json", metavar="PATH",
+                            help="write a JSON run summary to PATH")
+    run_parser.add_argument("--traces", metavar="PATH",
+                            help="write the pull/push/abort trace (JSONL) to PATH")
+    run_parser.add_argument("--plot", action="store_true",
+                            help="render the loss curve as ASCII art")
+
+    compare_parser = sub.add_parser(
+        "compare", help="race several schemes on one workload"
+    )
+    _add_run_args(compare_parser)
+    compare_parser.add_argument(
+        "--schemes", nargs="+", default=["original", "adaptive"],
+        help="scheme keys to race",
+    )
+    compare_parser.add_argument("--plot", action="store_true",
+                                help="overlay the loss curves as ASCII art")
+
+    exp_parser = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    exp_parser.add_argument("name", choices=sorted(EXPERIMENTS),
+                            help="which experiment to run")
+    exp_parser.add_argument("--scale", choices=["full", "smoke"],
+                            default="full")
+    exp_parser.add_argument("--seed", type=int, default=3)
+    return parser
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=sorted(WORKLOADS), default="mf")
+    parser.add_argument("--workers", type=int, default=40)
+    parser.add_argument("--heterogeneous", action="store_true",
+                        help="use the paper's Cluster-2 instance mix")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--horizon", type=float, default=None,
+                        help="virtual-time horizon in seconds")
+    parser.add_argument("--no-early-stop", action="store_true",
+                        help="run the full horizon even after convergence")
+
+
+def _build_cluster(args) -> ClusterSpec:
+    if args.heterogeneous:
+        per_type = max(1, args.workers // 4)
+        return ClusterSpec.heterogeneous(
+            [("m3.xlarge", per_type), ("m3.2xlarge", per_type),
+             ("m4.xlarge", per_type), ("m4.2xlarge", per_type)]
+        )
+    return ClusterSpec.homogeneous(args.workers)
+
+
+def _run_one(args, scheme_key: str):
+    workload = WORKLOADS[args.workload]()
+    catalog = scheme_catalog(workload.name)
+    if scheme_key not in catalog:
+        known = ", ".join(sorted(catalog))
+        raise SystemExit(f"unknown scheme {scheme_key!r}; known: {known}")
+    cluster = _build_cluster(args)
+    result = workload.run(
+        cluster,
+        catalog[scheme_key].make(),
+        seed=args.seed,
+        horizon_s=args.horizon,
+        early_stop=not args.no_early_stop,
+    )
+    return workload, result
+
+
+def _result_row(workload, result) -> List[str]:
+    time_to_conv = result.time_to_convergence(workload.convergence)
+    return [
+        result.scheme,
+        f"{time_to_conv:.0f}s" if time_to_conv is not None else "never",
+        str(result.total_iterations),
+        str(result.total_aborts),
+        f"{result.mean_staleness:.1f}",
+        f"{result.final_loss:.4f}",
+        format_bytes(result.total_transfer_bytes),
+    ]
+
+
+def _cmd_list() -> int:
+    table = TextTable(["workload", "target loss", "iteration time", "horizon"])
+    for name in sorted(WORKLOADS):
+        workload = WORKLOADS[name]()
+        table.add_row([
+            name,
+            workload.convergence.target_loss,
+            f"{workload.paper_iteration_time_s:g}s",
+            f"{workload.default_horizon_s:g}s",
+        ])
+    print(table.render())
+    print("\nschemes: " + ", ".join(sorted(scheme_catalog("mf"))))
+    print("experiments: " + ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    workload, result = _run_one(args, args.scheme)
+    table = TextTable(
+        ["scheme", "time to target", "iterations", "aborts",
+         "mean staleness", "final loss", "transfer"],
+        title=f"{workload.name} on {_build_cluster(args).describe()}",
+    )
+    table.add_row(_result_row(workload, result))
+    print(table.render())
+    if args.plot:
+        print()
+        print(ascii_plot({result.scheme: result.curve.as_series()},
+                         x_label="virtual s", y_label="loss"))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(run_summary_to_dict(result), handle, indent=2)
+        print(f"\nsummary written to {args.json}")
+    if args.traces:
+        with open(args.traces, "w", encoding="utf-8") as handle:
+            count = traces_to_jsonl(result.traces, handle)
+        print(f"{count} trace events written to {args.traces}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    workload = WORKLOADS[args.workload]()
+    table = TextTable(
+        ["scheme", "time to target", "iterations", "aborts",
+         "mean staleness", "final loss", "transfer"],
+        title=(
+            f"{workload.name} (target {workload.convergence.target_loss}) "
+            f"on {_build_cluster(args).describe()}"
+        ),
+    )
+    results = {}
+    for scheme_key in args.schemes:
+        _, result = _run_one(args, scheme_key)
+        results[scheme_key] = result
+        table.add_row(_result_row(workload, result))
+    print(table.render())
+
+    baseline_key = args.schemes[0]
+    baseline_time = results[baseline_key].time_to_convergence(workload.convergence)
+    if baseline_time is not None:
+        for scheme_key in args.schemes[1:]:
+            this_time = results[scheme_key].time_to_convergence(workload.convergence)
+            if this_time is not None:
+                print(f"{scheme_key} speedup over {baseline_key}: "
+                      f"{baseline_time / this_time:.2f}x")
+    if args.plot:
+        print()
+        print(ascii_plot(
+            {k: r.curve.as_series() for k, r in results.items()},
+            x_label="virtual s", y_label="loss",
+        ))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    scale = ExperimentScale.SMOKE if args.scale == "smoke" else ExperimentScale.FULL
+    driver = EXPERIMENTS[args.name]
+    result = driver(scale, seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

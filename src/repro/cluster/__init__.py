@@ -1,0 +1,28 @@
+"""Cluster modeling: instance types, compute-time models, cluster specs.
+
+Heterogeneity (paper Fig. 10) enters the system only through per-worker
+iteration-time distributions; this package turns an EC2-style instance mix
+into those distributions.
+"""
+
+from repro.cluster.instances import InstanceType, INSTANCE_CATALOG, get_instance
+from repro.cluster.compute import ComputeTimeModel, StragglerModel
+from repro.cluster.spec import ClusterSpec, NodeSpec
+from repro.cluster.scenarios import (
+    ScenarioComputeModel,
+    SlowdownWindow,
+    build_scenario_models,
+)
+
+__all__ = [
+    "InstanceType",
+    "INSTANCE_CATALOG",
+    "get_instance",
+    "ComputeTimeModel",
+    "StragglerModel",
+    "ClusterSpec",
+    "NodeSpec",
+    "ScenarioComputeModel",
+    "SlowdownWindow",
+    "build_scenario_models",
+]

@@ -1,0 +1,89 @@
+"""Compute-time models: how long one gradient computation takes on a node.
+
+The discrete-event simulation needs a distribution for per-iteration compute
+time.  We use a lognormal jitter around the instance-adjusted mean — the
+standard model for service times on shared cloud hardware — plus an optional
+straggler process that slows a node down for an interval (modeling GC
+pauses, noisy neighbours, and the transient slowdowns the paper's
+heterogeneity discussion appeals to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+__all__ = ["ComputeTimeModel", "StragglerModel"]
+
+
+@dataclass(frozen=True)
+class StragglerModel:
+    """Transient slowdowns: with probability ``probability`` per iteration,
+    the iteration is stretched by a factor drawn uniformly from
+    [1, 1 + ``max_slowdown``].
+
+    ``probability = 0`` (default) disables straggling entirely.
+    """
+
+    probability: float = 0.0
+    max_slowdown: float = 3.0
+
+    def __post_init__(self):
+        check_probability("probability", self.probability)
+        check_non_negative("max_slowdown", self.max_slowdown)
+
+    def slowdown_factor(self, rng: np.random.Generator) -> float:
+        """Multiplicative stretch for one iteration (1.0 = no straggling)."""
+        if self.probability == 0.0 or rng.random() >= self.probability:
+            return 1.0
+        return 1.0 + float(rng.random()) * self.max_slowdown
+
+
+@dataclass(frozen=True)
+class ComputeTimeModel:
+    """Samples per-iteration compute times.
+
+    ``mean_time_s`` is the workload's mean iteration time on the node
+    (already adjusted for instance speed); ``jitter_sigma`` is the sigma of
+    the lognormal multiplier.  The lognormal is normalized so its mean is
+    exactly 1, keeping the configured mean honest under jitter.
+    """
+
+    mean_time_s: float
+    jitter_sigma: float = 0.15
+    straggler: StragglerModel = StragglerModel()
+
+    def __post_init__(self):
+        check_positive("mean_time_s", self.mean_time_s)
+        check_non_negative("jitter_sigma", self.jitter_sigma)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one iteration's compute time in virtual seconds."""
+        time = self.mean_time_s
+        if self.jitter_sigma > 0:
+            # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); pick mu so E = 1.
+            mu = -0.5 * self.jitter_sigma**2
+            time *= float(rng.lognormal(mean=mu, sigma=self.jitter_sigma))
+        time *= self.straggler.slowdown_factor(rng)
+        return time
+
+    def sample_at(self, rng: np.random.Generator, now: float) -> float:
+        """Time-aware sampling hook.
+
+        The base model is stationary, so this ignores ``now``; scenario
+        models (:mod:`repro.cluster.scenarios`) override it to inject
+        deterministic slowdown windows.
+        """
+        return self.sample(rng)
+
+    def scaled(self, speed_factor: float) -> "ComputeTimeModel":
+        """A copy of this model for a node ``speed_factor`` times faster."""
+        check_positive("speed_factor", speed_factor)
+        return ComputeTimeModel(
+            mean_time_s=self.mean_time_s / speed_factor,
+            jitter_sigma=self.jitter_sigma,
+            straggler=self.straggler,
+        )

@@ -1,0 +1,85 @@
+"""EC2-style instance catalog.
+
+The paper's testbeds use m3.xlarge / m3.2xlarge / m4.xlarge / m4.2xlarge
+(Section VI-A).  We model each type by a *speed factor* relative to
+m4.xlarge (the homogeneous-cluster baseline on which Table I's iteration
+times were measured) plus a network bandwidth.  Speed factors follow the
+generation/size relationships of those instance families: m4 is one
+generation newer than m3 (~15% faster per core for this workload class), and
+the .2xlarge doubles cores which roughly halves the per-batch time for the
+data-parallel compute in these workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+__all__ = ["InstanceType", "INSTANCE_CATALOG", "get_instance"]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A machine type with relative compute speed and network bandwidth.
+
+    ``speed_factor`` multiplies compute *throughput*: iteration time on this
+    instance = base_iteration_time / speed_factor.
+    """
+
+    name: str
+    vcpus: int
+    memory_gib: float
+    speed_factor: float
+    network_bytes_per_s: float
+
+    def __post_init__(self):
+        check_positive("speed_factor", self.speed_factor)
+        check_positive("network_bytes_per_s", self.network_bytes_per_s)
+        if self.vcpus <= 0:
+            raise ValueError(f"vcpus must be positive, got {self.vcpus}")
+
+    def iteration_time(self, base_time_s: float) -> float:
+        """Mean iteration time of a workload whose m4.xlarge time is ``base_time_s``."""
+        return base_time_s / self.speed_factor
+
+
+INSTANCE_CATALOG: dict[str, InstanceType] = {
+    "m3.xlarge": InstanceType(
+        name="m3.xlarge",
+        vcpus=4,
+        memory_gib=15.0,
+        speed_factor=0.85,
+        network_bytes_per_s=500e6,
+    ),
+    "m3.2xlarge": InstanceType(
+        name="m3.2xlarge",
+        vcpus=8,
+        memory_gib=30.0,
+        speed_factor=1.60,
+        network_bytes_per_s=500e6,
+    ),
+    "m4.xlarge": InstanceType(
+        name="m4.xlarge",
+        vcpus=4,
+        memory_gib=16.0,
+        speed_factor=1.0,
+        network_bytes_per_s=750e6,
+    ),
+    "m4.2xlarge": InstanceType(
+        name="m4.2xlarge",
+        vcpus=8,
+        memory_gib=32.0,
+        speed_factor=1.90,
+        network_bytes_per_s=750e6,
+    ),
+}
+
+
+def get_instance(name: str) -> InstanceType:
+    """Look up an instance type by name, with a helpful error on typos."""
+    try:
+        return INSTANCE_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(INSTANCE_CATALOG))
+        raise KeyError(f"unknown instance type {name!r}; known types: {known}") from None

@@ -1,0 +1,96 @@
+"""Deterministic fault/slowdown scenarios for failure-injection experiments.
+
+The stochastic :class:`~repro.cluster.compute.StragglerModel` covers
+background noise; scenarios inject *scripted* events — "node 7 runs 4×
+slower between t=200s and t=500s" — which is how the heterogeneity
+discussion's causes (hardware faults, software failures, noisy neighbours)
+are studied reproducibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.compute import ComputeTimeModel
+from repro.cluster.spec import ClusterSpec
+from repro.utils.validation import check_positive
+
+__all__ = ["SlowdownWindow", "ScenarioComputeModel", "build_scenario_models"]
+
+
+@dataclass(frozen=True)
+class SlowdownWindow:
+    """One scripted slowdown: iterations starting inside [start, end) are
+    stretched by ``factor``."""
+
+    start_s: float
+    end_s: float
+    factor: float
+
+    def __post_init__(self):
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"window end {self.end_s} must be after start {self.start_s}"
+            )
+        check_positive("factor", self.factor)
+
+    def active_at(self, now: float) -> bool:
+        """True when ``now`` falls inside [start, end)."""
+        return self.start_s <= now < self.end_s
+
+
+class ScenarioComputeModel(ComputeTimeModel):
+    """A compute model with scripted slowdown windows layered on a base.
+
+    Subclasses the frozen dataclass only structurally — instances are built
+    from an existing base model plus a window list.
+    """
+
+    def __init__(self, base: ComputeTimeModel, windows: Sequence[SlowdownWindow]):
+        object.__setattr__(self, "mean_time_s", base.mean_time_s)
+        object.__setattr__(self, "jitter_sigma", base.jitter_sigma)
+        object.__setattr__(self, "straggler", base.straggler)
+        object.__setattr__(self, "_base", base)
+        object.__setattr__(self, "_windows", tuple(windows))
+
+    @property
+    def windows(self) -> tuple:
+        return self._windows
+
+    def sample_at(self, rng: np.random.Generator, now: float) -> float:
+        time = self._base.sample(rng)
+        for window in self._windows:
+            if window.active_at(now):
+                time *= window.factor
+        return time
+
+    def scaled(self, speed_factor: float) -> "ScenarioComputeModel":
+        return ScenarioComputeModel(self._base.scaled(speed_factor), self._windows)
+
+
+def build_scenario_models(
+    cluster: ClusterSpec,
+    base: ComputeTimeModel,
+    events: Mapping[int, Sequence[SlowdownWindow]],
+) -> List[ComputeTimeModel]:
+    """Per-worker compute models with scripted events for some workers.
+
+    ``events`` maps worker index → its slowdown windows; unlisted workers
+    get the plain instance-scaled base model.  Pass the result as the
+    engine's ``compute_models`` override.
+    """
+    models: List[ComputeTimeModel] = []
+    for index, node in enumerate(cluster.nodes):
+        scaled = base.scaled(node.speed_factor)
+        windows = events.get(index)
+        if windows:
+            models.append(ScenarioComputeModel(scaled, windows))
+        else:
+            models.append(scaled)
+    for index in events:
+        if not 0 <= index < cluster.num_workers:
+            raise ValueError(f"event for unknown worker index {index}")
+    return models

@@ -1,0 +1,115 @@
+"""Cluster specifications: which nodes make up a testbed.
+
+The paper's testbeds (Section VI-A):
+
+* Cluster 1 — 40 × m4.xlarge (homogeneous effectiveness evaluation).
+* Cluster 2 — 10 × each of m3.xlarge, m3.2xlarge, m4.xlarge, m4.2xlarge
+  (heterogeneity evaluation).
+* Scalability clusters — 20 / 30 / 40 × m4.xlarge.
+
+In MXNet each node is both a worker and a server (paper footnote 2); the
+spec mirrors that co-location by default but allows dedicated servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cluster.instances import InstanceType, get_instance
+
+__all__ = ["NodeSpec", "ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One machine in the cluster: a name and its instance type."""
+
+    name: str
+    instance: InstanceType
+
+    @property
+    def speed_factor(self) -> float:
+        """Compute-throughput multiplier relative to m4.xlarge."""
+        return self.instance.speed_factor
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A testbed: worker nodes, server count, and co-location policy."""
+
+    nodes: tuple
+    num_servers: int = 0  # 0 → one server shard per node (MXNet co-location)
+    colocated: bool = True
+
+    def __post_init__(self):
+        if not self.nodes:
+            raise ValueError("a cluster needs at least one node")
+        if self.num_servers < 0:
+            raise ValueError(f"num_servers must be >= 0, got {self.num_servers}")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError("node names must be unique")
+
+    # ------------------------------------------------------------------
+    # Constructors for the paper's testbeds
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(cls, num_nodes: int, instance_name: str = "m4.xlarge") -> "ClusterSpec":
+        """Cluster 1 and the scalability clusters: ``num_nodes`` identical machines."""
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        instance = get_instance(instance_name)
+        nodes = tuple(
+            NodeSpec(name=f"node-{i}", instance=instance) for i in range(num_nodes)
+        )
+        return cls(nodes=nodes)
+
+    @classmethod
+    def heterogeneous(
+        cls, counts: Sequence[tuple] = (("m3.xlarge", 10), ("m3.2xlarge", 10),
+                                        ("m4.xlarge", 10), ("m4.2xlarge", 10))
+    ) -> "ClusterSpec":
+        """Cluster 2: a mixed-instance testbed (defaults to the paper's mix)."""
+        nodes: List[NodeSpec] = []
+        for type_name, count in counts:
+            instance = get_instance(type_name)
+            start = len(nodes)
+            nodes.extend(
+                NodeSpec(name=f"node-{start + i}", instance=instance)
+                for i in range(count)
+            )
+        return cls(nodes=tuple(nodes))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """Every node runs one worker."""
+        return len(self.nodes)
+
+    @property
+    def server_names(self) -> List[str]:
+        """Names of the server shards (co-located with nodes by default)."""
+        if self.num_servers == 0 or self.colocated:
+            count = self.num_servers or len(self.nodes)
+            return [self.nodes[i % len(self.nodes)].name for i in range(count)]
+        return [f"server-{i}" for i in range(self.num_servers)]
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when nodes do not all share one instance type."""
+        return len({n.instance.name for n in self.nodes}) > 1
+
+    def speed_factors(self) -> List[float]:
+        """Per-worker speed factors, in node order."""
+        return [n.speed_factor for n in self.nodes]
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``40 nodes (40x m4.xlarge)``."""
+        counts: dict = {}
+        for node in self.nodes:
+            counts[node.instance.name] = counts.get(node.instance.name, 0) + 1
+        mix = ", ".join(f"{v}x {k}" for k, v in sorted(counts.items()))
+        return f"{len(self.nodes)} nodes ({mix})"

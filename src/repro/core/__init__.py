@@ -1,0 +1,39 @@
+"""SpecSync — speculative synchronization (the paper's contribution).
+
+Workers proceed asynchronously, but a central scheduler watches the stream
+of push notifications; when enough peers pushed shortly after a worker's
+pull, the scheduler tells that worker to abort its in-flight computation,
+re-pull fresher parameters, and start over (paper Section IV, Algorithm 2).
+The two hyperparameters — ``ABORT_TIME`` (speculation window) and
+``ABORT_RATE`` (push-fraction threshold) — are either fixed from a grid
+search (SpecSync-Cherrypick) or retuned every epoch by Algorithm 1
+(SpecSync-Adaptive).
+"""
+
+from repro.core.hyperparams import SpecSyncHyperparams
+from repro.core.tuning import (
+    AdaptiveTuner,
+    EpochTrace,
+    FixedTuner,
+    HyperparamTuner,
+    estimate_freshness_gain,
+    estimate_freshness_loss,
+    freshness_improvement,
+    tune_hyperparams,
+)
+from repro.core.scheduler import SpecSyncScheduler
+from repro.core.specsync import SpecSyncPolicy
+
+__all__ = [
+    "SpecSyncHyperparams",
+    "HyperparamTuner",
+    "FixedTuner",
+    "AdaptiveTuner",
+    "EpochTrace",
+    "estimate_freshness_gain",
+    "estimate_freshness_loss",
+    "freshness_improvement",
+    "tune_hyperparams",
+    "SpecSyncScheduler",
+    "SpecSyncPolicy",
+]

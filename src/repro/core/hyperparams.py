@@ -1,0 +1,36 @@
+"""SpecSync's two hyperparameters (paper Section IV-A, challenge 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["SpecSyncHyperparams"]
+
+
+@dataclass(frozen=True)
+class SpecSyncHyperparams:
+    """ABORT_TIME and ABORT_RATE.
+
+    After a worker's push (and immediate next pull), the scheduler watches
+    the next ``abort_time_s`` virtual seconds; if more than
+    ``abort_rate × m`` pushes arrive from peers in that window, the worker
+    is told to re-sync.
+    """
+
+    abort_time_s: float
+    abort_rate: float
+
+    def __post_init__(self):
+        check_positive("abort_time_s", self.abort_time_s)
+        check_non_negative("abort_rate", self.abort_rate)
+
+    def threshold_count(self, num_workers: int) -> float:
+        """The push count that triggers a re-sync: ``m × ABORT_RATE``."""
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        return num_workers * self.abort_rate
+
+    def __str__(self) -> str:
+        return f"(ABORT_TIME={self.abort_time_s:.3g}s, ABORT_RATE={self.abort_rate:.3g})"

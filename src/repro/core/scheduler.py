@@ -1,0 +1,177 @@
+"""The SpecSync central scheduler (paper Section V, Algorithm 2).
+
+The scheduler is the piece that replaces all-to-all push broadcasting: every
+worker reports each completed iteration with a tiny ``notify`` message, and
+the scheduler — holding the only global view of the push history — decides
+per worker whether a ``re-sync`` is warranted.
+
+On ``notify`` from worker *i* at time *t* (the worker pulls and starts its
+next iteration immediately):
+
+1. append *t* to the push history;
+2. schedule a check at *t* + ABORT_TIME;
+3. at the check, count pushes from peers in (*t*, *t* + ABORT_TIME]; if the
+   count reaches ``m × ABORT_RATE``, instruct worker *i* to re-sync.
+
+Epoch boundaries (every worker pushed at least once since the last
+boundary) trigger hyperparameter retuning via the plugged-in tuner.
+
+The class is engine-agnostic: it talks to the outside world through three
+callbacks (schedule a timer, read the clock, send a re-sync), which keeps it
+unit-testable without a simulation and reusable by the threaded runtime.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.hyperparams import SpecSyncHyperparams
+from repro.core.tuning import EpochTrace, HyperparamTuner
+
+__all__ = ["SpecSyncScheduler"]
+
+
+class SpecSyncScheduler:
+    """Centralized speculation for all workers."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        tuner: HyperparamTuner,
+        schedule_fn: Callable[[float, Callable], None],
+        now_fn: Callable[[], float],
+        send_resync_fn: Callable[[int, int], None],
+        span_window: int = 8,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        self.tuner = tuner
+        self._schedule = schedule_fn
+        self._now = now_fn
+        self._send_resync = send_resync_fn
+
+        self.hyperparams: Optional[SpecSyncHyperparams] = tuner.initial()
+
+        # Global push history (time-ordered, append-only).
+        self._push_times: List[float] = []
+        self._push_workers: List[int] = []
+
+        # Per-worker history for iteration-span estimation.
+        self._last_push: Dict[int, float] = {}
+        self._span_samples: Dict[int, deque] = {
+            w: deque(maxlen=span_window) for w in range(num_workers)
+        }
+
+        # Current-epoch state.
+        self._epoch_started_at = 0.0
+        self._epoch_pushes: List[Tuple[float, int]] = []
+        self._epoch_seen: set = set()
+
+        # Stats for reports.
+        self.epochs_completed = 0
+        self.checks_run = 0
+        self.resyncs_sent = 0
+        self.hyperparam_log: List[Tuple[float, Optional[SpecSyncHyperparams]]] = []
+
+    # ------------------------------------------------------------------
+    # Protocol entry point
+    # ------------------------------------------------------------------
+    def handle_notify(self, worker_id: int, iteration: int) -> None:
+        """A worker finished an iteration and pushed (Algorithm 2, scheduler
+        ``HandleNotification``).  ``iteration`` is the index of the *next*
+        iteration the worker is starting — the one a re-sync would abort.
+        """
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"unknown worker id {worker_id}")
+        now = self._now()
+        self._record_push(now, worker_id)
+        self._advance_epoch(now, worker_id)
+
+        if self.hyperparams is None:
+            return
+        window = self.hyperparams.abort_time_s
+        threshold = self.hyperparams.threshold_count(self.num_workers)
+        self._schedule(
+            window,
+            lambda: self._check_resync(worker_id, now, iteration, threshold),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _record_push(self, time: float, worker_id: int) -> None:
+        self._push_times.append(time)
+        self._push_workers.append(worker_id)
+        previous = self._last_push.get(worker_id)
+        if previous is not None and time > previous:
+            self._span_samples[worker_id].append(time - previous)
+        self._last_push[worker_id] = time
+        self._epoch_pushes.append((time, worker_id))
+        self._epoch_seen.add(worker_id)
+
+    def _advance_epoch(self, now: float, worker_id: int) -> None:
+        if len(self._epoch_seen) < self.num_workers:
+            return
+        trace = EpochTrace(
+            num_workers=self.num_workers,
+            pushes=list(self._epoch_pushes),
+            last_push_by_worker={
+                w: max(t for t, wid in self._epoch_pushes if wid == w)
+                for w in self._epoch_seen
+            },
+            iteration_spans={
+                w: sum(samples) / len(samples)
+                for w, samples in self._span_samples.items()
+                if samples
+            },
+        )
+        self.hyperparams = self.tuner.retune(trace)
+        self.epochs_completed += 1
+        self.hyperparam_log.append((now, self.hyperparams))
+        self._epoch_started_at = now
+        self._epoch_pushes = []
+        self._epoch_seen = set()
+
+    def _check_resync(
+        self, worker_id: int, window_start: float, iteration: int, threshold: float
+    ) -> None:
+        """Algorithm 2, ``CheckResync``: fire a re-sync if enough peers pushed."""
+        self.checks_run += 1
+        now = self._now()
+        count = self._peer_pushes_between(worker_id, window_start, now)
+        if count >= threshold:
+            self.resyncs_sent += 1
+            self._send_resync(worker_id, iteration)
+
+    def _peer_pushes_between(self, worker_id: int, start: float, end: float) -> int:
+        lo = bisect.bisect_right(self._push_times, start)
+        hi = bisect.bisect_right(self._push_times, end)
+        return sum(1 for i in range(lo, hi) if self._push_workers[i] != worker_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def estimated_span(self, worker_id: int) -> Optional[float]:
+        """Current iteration-span estimate for a worker (mean of recent gaps)."""
+        samples = self._span_samples.get(worker_id)
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
+
+    def summary(self) -> dict:
+        """Counters for run reports (epochs, checks, re-syncs, hyperparams)."""
+        return {
+            "epochs_completed": self.epochs_completed,
+            "checks_run": self.checks_run,
+            "resyncs_sent": self.resyncs_sent,
+            "current_hyperparams": str(self.hyperparams) if self.hyperparams else None,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SpecSyncScheduler(m={self.num_workers}, epochs={self.epochs_completed}, "
+            f"resyncs={self.resyncs_sent}, hp={self.hyperparams})"
+        )

@@ -1,0 +1,246 @@
+"""Adaptive hyperparameter tuning — the paper's Algorithm 1.
+
+At the beginning of each epoch the scheduler estimates, for every candidate
+speculation window Δ:
+
+* **freshness gain** ũ_i(Δ): the number of pushes by peers that worker i
+  would have uncovered by deferring its last iteration of the previous
+  epoch by Δ (Eq. 5 — replayed from the push trace);
+* **freshness loss** l̃_i(Δ) = Δ·(m−1)/T_i (Eq. 6 — the expected number of
+  peers that would miss worker i's delayed push under uniform pull
+  arrivals);
+
+and picks the Δ maximizing the improvement estimate
+F̃(Δ) = Σ_i (ũ_i(Δ) − l̃_i(Δ))  (Eq. 7).
+
+Because ũ_i is a step function increasing only when Δ crosses a push-gap,
+the optimum lies where a window right-aligns with a push; the candidate set
+is therefore the pairwise time differences between pushes in the epoch
+(O(m²) values), and the scan is exact.  ABORT_RATE is then set to
+Δ*·(m−1)/(T̄·m) so a re-sync only fires when the realized gain exceeds the
+estimated loss (Algorithm 1, line 7).
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.hyperparams import SpecSyncHyperparams
+
+__all__ = [
+    "EpochTrace",
+    "estimate_freshness_gain",
+    "estimate_freshness_loss",
+    "freshness_improvement",
+    "candidate_windows",
+    "tune_hyperparams",
+    "HyperparamTuner",
+    "FixedTuner",
+    "AdaptiveTuner",
+]
+
+
+@dataclass
+class EpochTrace:
+    """What the scheduler observed during one epoch.
+
+    Everything here is scheduler-observable in a real deployment: notify
+    messages carry (sender, timestamp), and iteration spans are gaps between
+    a worker's consecutive notifies — no worker-side instrumentation needed.
+    """
+
+    num_workers: int
+    #: (time, worker_id) of every push notification, in time order.
+    pushes: List[Tuple[float, int]] = field(default_factory=list)
+    #: worker_id -> timestamp of that worker's last push in the epoch
+    #: (the reference point: its next pull happened right after).
+    last_push_by_worker: Dict[int, float] = field(default_factory=dict)
+    #: worker_id -> estimated iteration span T_i.
+    iteration_spans: Dict[int, float] = field(default_factory=dict)
+
+    def push_times(self) -> List[float]:
+        """All push timestamps of the epoch, in order."""
+        return [t for t, _ in self.pushes]
+
+    def mean_span(self) -> Optional[float]:
+        """Mean iteration span across workers (None when unknown)."""
+        if not self.iteration_spans:
+            return None
+        return float(np.mean(list(self.iteration_spans.values())))
+
+
+def estimate_freshness_gain(
+    trace: EpochTrace, worker_id: int, window_s: float
+) -> int:
+    """ũ_i(Δ): pushes by peers in (p_i, p_i + Δ], where p_i is worker i's
+    last push of the previous epoch (its next pull followed immediately).
+    """
+    if window_s < 0:
+        raise ValueError(f"window_s must be >= 0, got {window_s}")
+    reference = trace.last_push_by_worker.get(worker_id)
+    if reference is None:
+        return 0
+    times = trace.push_times()
+    lo = bisect.bisect_right(times, reference)
+    hi = bisect.bisect_right(times, reference + window_s)
+    return sum(1 for i in range(lo, hi) if trace.pushes[i][1] != worker_id)
+
+
+def estimate_freshness_loss(
+    num_workers: int, iteration_span_s: float, window_s: float
+) -> float:
+    """l̃_i(Δ) = Δ·(m−1)/T_i — Eq. 6's uniform-arrival missed-peer estimate."""
+    if iteration_span_s <= 0:
+        raise ValueError(f"iteration_span_s must be > 0, got {iteration_span_s}")
+    if window_s < 0:
+        raise ValueError(f"window_s must be >= 0, got {window_s}")
+    return window_s * (num_workers - 1) / iteration_span_s
+
+
+def freshness_improvement(trace: EpochTrace, window_s: float) -> float:
+    """F̃(Δ) = Σ_i (ũ_i(Δ) − l̃_i(Δ))  (Eq. 7)."""
+    fallback_span = trace.mean_span()
+    total = 0.0
+    for worker_id in range(trace.num_workers):
+        gain = estimate_freshness_gain(trace, worker_id, window_s)
+        span = trace.iteration_spans.get(worker_id, fallback_span)
+        if span is None or span <= 0:
+            continue
+        total += gain - estimate_freshness_loss(trace.num_workers, span, window_s)
+    return total
+
+
+def candidate_windows(
+    push_times: Sequence[float], max_candidates: int = 512
+) -> List[float]:
+    """The Δ candidates: positive pairwise push-time differences.
+
+    The optimum of Eq. 7 right-aligns the window with a push, so scanning
+    these values is exact.  When the epoch contains many pushes the O(n²)
+    set is subsampled evenly (after sorting) to bound tuning cost — a pure
+    implementation guard; at the paper's scale (n ≈ m per epoch) the set is
+    complete.
+    """
+    times = sorted(push_times)
+    raw = {
+        round(times[j] - times[i], 9)
+        for i in range(len(times))
+        for j in range(i + 1, len(times))
+    }
+    diffs = sorted(d for d in raw if d > 0)
+    if len(diffs) > max_candidates:
+        idx = np.linspace(0, len(diffs) - 1, max_candidates).astype(int)
+        diffs = [diffs[i] for i in idx]
+    return diffs
+
+
+def tune_hyperparams(
+    trace: EpochTrace, max_candidates: int = 512
+) -> Optional[SpecSyncHyperparams]:
+    """Algorithm 1: scan candidates, return the tuned hyperparameters.
+
+    Returns None when the trace is too thin to tune (fewer than two pushes
+    or no span estimate) — the scheduler then keeps speculation off for the
+    next epoch.
+    """
+    mean_span = trace.mean_span()
+    if mean_span is None or mean_span <= 0:
+        return None
+    candidates = candidate_windows(trace.push_times(), max_candidates)
+    # A window at least as long as an iteration is pure delay; restrict the
+    # search to windows shorter than the mean span (the paper's search uses
+    # half the batch time as an upper bound for the same reason).
+    candidates = [c for c in candidates if 0 < c < mean_span]
+    if not candidates:
+        return None
+
+    best_window = None
+    best_improvement = -np.inf
+    for window in candidates:
+        improvement = freshness_improvement(trace, window)
+        if improvement > best_improvement:
+            best_improvement = improvement
+            best_window = window
+
+    m = trace.num_workers
+    abort_rate = best_window * (m - 1) / (mean_span * m)
+    return SpecSyncHyperparams(abort_time_s=best_window, abort_rate=abort_rate)
+
+
+# ----------------------------------------------------------------------
+# Tuner objects plugged into the scheduler
+# ----------------------------------------------------------------------
+class HyperparamTuner(abc.ABC):
+    """Strategy object deciding the hyperparameters for each epoch."""
+
+    @abc.abstractmethod
+    def initial(self) -> Optional[SpecSyncHyperparams]:
+        """Hyperparameters before any epoch completes (None = no speculation)."""
+
+    @abc.abstractmethod
+    def retune(self, trace: EpochTrace) -> Optional[SpecSyncHyperparams]:
+        """Hyperparameters for the next epoch given the previous epoch's trace."""
+
+    @property
+    @abc.abstractmethod
+    def label(self) -> str:
+        """Short name used in the scheme name ("cherrypick" / "adaptive")."""
+
+
+class FixedTuner(HyperparamTuner):
+    """SpecSync-Cherrypick: hyperparameters fixed for the whole run.
+
+    The values come from an offline grid search (see
+    ``repro.experiments.cherrypick_search``) — expensive, as Table II
+    quantifies.
+    """
+
+    def __init__(self, hyperparams: SpecSyncHyperparams):
+        self.hyperparams = hyperparams
+
+    @property
+    def label(self) -> str:
+        return "cherrypick"
+
+    def initial(self) -> Optional[SpecSyncHyperparams]:
+        return self.hyperparams
+
+    def retune(self, trace: EpochTrace) -> Optional[SpecSyncHyperparams]:
+        return self.hyperparams
+
+
+class AdaptiveTuner(HyperparamTuner):
+    """SpecSync-Adaptive: re-run Algorithm 1 at every epoch boundary.
+
+    Tracks its own wall-clock tuning cost so the Table II comparison
+    (closed-form scan vs. grid-search profiling runs) can be measured.
+    """
+
+    def __init__(self, max_candidates: int = 512):
+        if max_candidates < 1:
+            raise ValueError(f"max_candidates must be >= 1, got {max_candidates}")
+        self.max_candidates = max_candidates
+        self.history: List[Optional[SpecSyncHyperparams]] = []
+        self.total_tuning_wall_s = 0.0
+
+    @property
+    def label(self) -> str:
+        return "adaptive"
+
+    def initial(self) -> Optional[SpecSyncHyperparams]:
+        # No history yet: the first epoch runs plain ASP and only collects
+        # the trace Algorithm 1 needs.
+        return None
+
+    def retune(self, trace: EpochTrace) -> Optional[SpecSyncHyperparams]:
+        started = _time.perf_counter()
+        hyperparams = tune_hyperparams(trace, self.max_candidates)
+        self.total_tuning_wall_s += _time.perf_counter() - started
+        self.history.append(hyperparams)
+        return hyperparams

@@ -1,0 +1,12 @@
+"""Discrete-event simulation kernel.
+
+The entire cluster emulation runs on a virtual clock: every pull, push,
+gradient computation, network delivery, and scheduler timer is an event on
+one priority queue.  Determinism is guaranteed by (time, sequence-number)
+ordering, so two runs with the same seed produce identical traces.
+"""
+
+from repro.events.event import Event, EventCanceled
+from repro.events.simulator import Simulator, SimulationError
+
+__all__ = ["Event", "EventCanceled", "Simulator", "SimulationError"]

@@ -1,0 +1,51 @@
+"""Event objects for the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["Event", "EventCanceled"]
+
+
+class EventCanceled(Exception):
+    """Raised when interacting with an event that has been canceled."""
+
+
+class Event:
+    """One scheduled callback on the virtual timeline.
+
+    Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
+    sequence number assigned by the simulator, which makes the ordering a
+    total order and keeps simultaneous events in scheduling order.  Events
+    can be canceled before they fire (lazy deletion: the heap entry stays,
+    the simulator skips it on pop).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "canceled", "fired")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.canceled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Canceling a fired event is an error."""
+        if self.fired:
+            raise EventCanceled(f"cannot cancel event at t={self.time}: already fired")
+        self.canceled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and neither fired nor canceled."""
+        return not (self.canceled or self.fired)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "canceled" if self.canceled else ("fired" if self.fired else "pending")
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"Event(t={self.time:.6g}, seq={self.seq}, fn={name}, {state})"

@@ -1,0 +1,139 @@
+"""The discrete-event simulator: a virtual clock over a binary heap of events."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.events.event import Event
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(Exception):
+    """Raised on invalid simulator usage (negative delays, time travel)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, worker.start)
+        sim.run(until=3600.0)
+
+    Events scheduled for the same instant fire in scheduling order.  The
+    clock only moves when an event fires; ``schedule`` with delay 0 fires the
+    callback on the next ``step`` without advancing time, which is how
+    instantaneous hand-offs (e.g. a worker reacting to a delivered message)
+    are expressed.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args) -> Event:
+        """Schedule ``fn(*args)`` to fire ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args) -> Event:
+        """Schedule ``fn(*args)`` at an absolute virtual time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self.now}"
+            )
+        event = Event(float(time), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.canceled:
+                continue
+            self.now = event.time
+            event.fired = True
+            self._events_fired += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Run until the queue drains, ``until`` is reached, or a predicate holds.
+
+        ``until`` is inclusive: events at exactly ``until`` still fire, and
+        the clock is left at ``until`` if the horizon was hit (so back-to-back
+        ``run`` calls resume cleanly).  ``stop_when`` is checked after every
+        fired event.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                event = self._peek()
+                if event is None:
+                    break
+                if until is not None and event.time > until:
+                    self.now = max(self.now, until)
+                    break
+                if not self.step():
+                    break
+                fired += 1
+                if stop_when is not None and stop_when():
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+
+    def _peek(self) -> Optional[Event]:
+        """Return the next pending event without firing it (skips canceled)."""
+        while self._heap and self._heap[0].canceled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Number of events still scheduled (excluding canceled ones)."""
+        return sum(1 for e in self._heap if not e.canceled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events fired so far."""
+        return self._events_fired
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next pending event, or None if the queue is empty."""
+        event = self._peek()
+        return event.time if event is not None else None
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now:.6g}, pending={self.pending_count}, "
+            f"fired={self._events_fired})"
+        )

@@ -1,0 +1,516 @@
+"""Ablations of SpecSync's design choices (see DESIGN.md, Section 5).
+
+1. **Centralized scheduler vs broadcast** — the paper's architecture choice
+   (Section V-A): with a central scheduler each push costs one notify; with
+   broadcast every worker would notify all m−1 peers.  We measure the real
+   control traffic and compute what broadcast would have cost on the same
+   push sequence.
+2. **SpecSync on SSP** — the composability claim (Section IV-A): SpecSync
+   layered over SSP should improve on plain SSP.
+3. **Abort budget** — Algorithm 2 issues at most one re-sync per iteration;
+   we sweep the per-iteration abort cap.
+4. **Hyperparameter sensitivity** — why tuning matters: fixed hyperparams
+   far from the tuned point lose most of the benefit.
+5. **Optimizer robustness** (extension) — the freshness mechanism under
+   AdaGrad instead of SGD on the server.
+6. **Failure injection** (extension) — a scripted fail-slow node
+   mid-training, ASP vs SpecSync.
+7. **Orthogonality** (extension) — SpecSync combined with staleness-aware
+   learning rates (the paper's Section VII combinability remark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.hyperparams import SpecSyncHyperparams
+from repro.core.specsync import SpecSyncPolicy
+from repro.experiments.common import ExperimentScale
+from repro.netsim.messages import CONTROL_MESSAGE_BYTES
+from repro.sync import AspPolicy, SspPolicy
+from repro.utils.tables import TextTable, format_bytes
+from repro.workloads.presets import matrix_factorization_workload
+
+__all__ = [
+    "BroadcastAblation",
+    "run_ablation_broadcast",
+    "SspCompositionAblation",
+    "run_ablation_specsync_ssp",
+    "AbortBudgetAblation",
+    "run_ablation_abort_budget",
+    "SensitivityAblation",
+    "run_ablation_sensitivity",
+    "OptimizerAblation",
+    "run_ablation_optimizer",
+    "FailureInjectionAblation",
+    "run_ablation_failure_injection",
+    "OrthogonalityAblation",
+    "run_ablation_orthogonality",
+]
+
+
+# ----------------------------------------------------------------------
+# 1. Centralized vs broadcast
+# ----------------------------------------------------------------------
+@dataclass
+class BroadcastAblation:
+    measured_control_bytes: float
+    measured_notify_bytes: float
+    broadcast_notify_bytes: float
+    notifies_sent: int
+    num_workers: int
+
+    @property
+    def notify_amplification(self) -> float:
+        """Broadcast notify traffic over centralized notify traffic.
+
+        Broadcasting sends every push notification to all m−1 peers instead
+        of one scheduler, so this is m−1 by construction — the point of the
+        paper's architecture choice made quantitative.
+        """
+        if self.measured_notify_bytes == 0:
+            return 0.0
+        return self.broadcast_notify_bytes / self.measured_notify_bytes
+
+    @property
+    def total_amplification(self) -> float:
+        """Total control traffic ratio (includes pull requests / acks,
+        which broadcasting does not change)."""
+        if self.measured_control_bytes == 0:
+            return 0.0
+        unchanged = self.measured_control_bytes - self.measured_notify_bytes
+        return (self.broadcast_notify_bytes + unchanged) / self.measured_control_bytes
+
+    def render(self) -> str:
+        table = TextTable(
+            ["architecture", "notify traffic", "all control traffic"],
+            title="Ablation: centralized scheduler vs broadcast",
+        )
+        unchanged = self.measured_control_bytes - self.measured_notify_bytes
+        table.add_row([
+            "centralized (measured)",
+            format_bytes(self.measured_notify_bytes),
+            format_bytes(self.measured_control_bytes),
+        ])
+        table.add_row([
+            "broadcast (computed)",
+            format_bytes(self.broadcast_notify_bytes),
+            format_bytes(self.broadcast_notify_bytes + unchanged),
+        ])
+        return (
+            table.render()
+            + f"\nnotify amplification: {self.notify_amplification:.1f}x "
+            f"(m-1 = {self.num_workers - 1})"
+        )
+
+
+def run_ablation_broadcast(
+    scale: ExperimentScale = ExperimentScale.FULL, seed: int = 3
+) -> BroadcastAblation:
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    workload = matrix_factorization_workload(seed)
+    result = workload.run(cluster, SpecSyncPolicy.adaptive(), seed=seed)
+
+    by_kind = result.ledger.bytes_by_kind()
+    measured_notify = by_kind.get("notify", 0.0)
+    measured_control = result.ledger.bytes_by_category().get("control", 0.0)
+    notifies = int(result.policy_summary.get("notifies_sent", 0))
+    # Broadcast: each completed iteration's notify goes to all m−1 peers
+    # instead of one scheduler.
+    broadcast_notify = notifies * (num_workers - 1) * CONTROL_MESSAGE_BYTES
+    return BroadcastAblation(
+        measured_control_bytes=measured_control,
+        measured_notify_bytes=measured_notify,
+        broadcast_notify_bytes=broadcast_notify,
+        notifies_sent=notifies,
+        num_workers=num_workers,
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. SpecSync on SSP
+# ----------------------------------------------------------------------
+@dataclass
+class SspCompositionAblation:
+    time_to_target: Dict[str, Optional[float]]
+    staleness: Dict[str, float]
+    target: float
+
+    def render(self) -> str:
+        table = TextTable(
+            ["scheme", "time to target", "mean staleness"],
+            title=f"Ablation: SpecSync composed with SSP (target {self.target})",
+        )
+        for scheme, time in self.time_to_target.items():
+            table.add_row(
+                [
+                    scheme,
+                    f"{time:.0f}s" if time is not None else "did not converge",
+                    f"{self.staleness[scheme]:.1f}",
+                ]
+            )
+        return table.render()
+
+
+def run_ablation_specsync_ssp(
+    scale: ExperimentScale = ExperimentScale.FULL,
+    seed: int = 3,
+    staleness_bound: int = 3,
+) -> SspCompositionAblation:
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    workload = matrix_factorization_workload(seed)
+
+    policies = {
+        "asp": AspPolicy(),
+        f"ssp(s={staleness_bound})": SspPolicy(staleness_bound),
+        "specsync-adaptive": SpecSyncPolicy.adaptive(),
+        f"specsync-adaptive+ssp(s={staleness_bound})": SpecSyncPolicy.adaptive(
+            base_policy=SspPolicy(staleness_bound)
+        ),
+    }
+    times: Dict[str, Optional[float]] = {}
+    staleness: Dict[str, float] = {}
+    for name, policy in policies.items():
+        result = workload.run(cluster, policy, seed=seed)
+        times[name] = result.time_to_convergence(workload.convergence)
+        staleness[name] = result.mean_staleness
+    return SspCompositionAblation(
+        time_to_target=times, staleness=staleness,
+        target=workload.convergence.target_loss,
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. Abort budget
+# ----------------------------------------------------------------------
+@dataclass
+class AbortBudgetAblation:
+    time_to_target: Dict[int, Optional[float]]
+    aborts: Dict[int, int]
+    target: float
+
+    def render(self) -> str:
+        table = TextTable(
+            ["max aborts/iteration", "time to target", "total aborts"],
+            title=f"Ablation: per-iteration abort budget (target {self.target})",
+        )
+        for budget in sorted(self.time_to_target):
+            time = self.time_to_target[budget]
+            table.add_row(
+                [
+                    budget,
+                    f"{time:.0f}s" if time is not None else "did not converge",
+                    self.aborts[budget],
+                ]
+            )
+        return table.render()
+
+
+def run_ablation_abort_budget(
+    scale: ExperimentScale = ExperimentScale.FULL,
+    seed: int = 3,
+    budgets: tuple = (0, 1, 2),
+) -> AbortBudgetAblation:
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    workload = matrix_factorization_workload(seed)
+
+    times: Dict[int, Optional[float]] = {}
+    aborts: Dict[int, int] = {}
+    for budget in budgets:
+        result = workload.run(
+            cluster,
+            SpecSyncPolicy.adaptive(),
+            seed=seed,
+            max_aborts_per_iteration=budget,
+        )
+        times[budget] = result.time_to_convergence(workload.convergence)
+        aborts[budget] = result.total_aborts
+    return AbortBudgetAblation(
+        time_to_target=times, aborts=aborts,
+        target=workload.convergence.target_loss,
+    )
+
+
+# ----------------------------------------------------------------------
+# 4. Hyperparameter sensitivity
+# ----------------------------------------------------------------------
+@dataclass
+class SensitivityAblation:
+    time_to_target: Dict[str, Optional[float]]
+    target: float
+
+    def render(self) -> str:
+        table = TextTable(
+            ["hyperparameters", "time to target"],
+            title=f"Ablation: fixed-hyperparameter sensitivity (target {self.target})",
+        )
+        for label, time in self.time_to_target.items():
+            table.add_row(
+                [label, f"{time:.0f}s" if time is not None else "did not converge"]
+            )
+        return table.render()
+
+
+def run_ablation_sensitivity(
+    scale: ExperimentScale = ExperimentScale.FULL, seed: int = 3
+) -> SensitivityAblation:
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    workload = matrix_factorization_workload(seed)
+    iteration = workload.paper_iteration_time_s
+
+    variants = {
+        "adaptive (Algorithm 1)": SpecSyncPolicy.adaptive(),
+        "fixed: window T/6, rate 0.25": SpecSyncPolicy.cherrypick(
+            SpecSyncHyperparams(iteration / 6.0, 0.25)
+        ),
+        "fixed: window T/2, rate 0.05 (over-eager)": SpecSyncPolicy.cherrypick(
+            SpecSyncHyperparams(iteration / 2.0, 0.05)
+        ),
+        "fixed: window T/50, rate 0.9 (never aborts)": SpecSyncPolicy.cherrypick(
+            SpecSyncHyperparams(iteration / 50.0, 0.9)
+        ),
+    }
+    times: Dict[str, Optional[float]] = {}
+    for label, policy in variants.items():
+        result = workload.run(cluster, policy, seed=seed)
+        times[label] = result.time_to_convergence(workload.convergence)
+    return SensitivityAblation(
+        time_to_target=times, target=workload.convergence.target_loss
+    )
+
+
+if __name__ == "__main__":
+    scale = ExperimentScale.from_env()
+    print(run_ablation_broadcast(scale).render())
+    print()
+    print(run_ablation_specsync_ssp(scale).render())
+    print()
+    print(run_ablation_abort_budget(scale).render())
+    print()
+    print(run_ablation_sensitivity(scale).render())
+
+
+# ----------------------------------------------------------------------
+# 5. Optimizer robustness (extension beyond the paper)
+# ----------------------------------------------------------------------
+@dataclass
+class OptimizerAblation:
+    """SpecSync's freshness mechanism under a different server optimizer."""
+
+    staleness: Dict[str, float]
+    final_loss: Dict[str, float]
+
+    def render(self) -> str:
+        table = TextTable(
+            ["configuration", "mean staleness", "final loss"],
+            title="Ablation: server optimizer (SGD vs AdaGrad)",
+        )
+        for name in self.staleness:
+            table.add_row(
+                [name, f"{self.staleness[name]:.1f}",
+                 f"{self.final_loss[name]:.4f}"]
+            )
+        return table.render()
+
+
+def run_ablation_optimizer(
+    scale: ExperimentScale = ExperimentScale.FULL, seed: int = 3
+) -> OptimizerAblation:
+    """The abort-and-refresh machinery is optimizer-agnostic: switching the
+    server's update rule to AdaGrad must not change the staleness
+    reduction (an extension experiment; the paper only ran SGD)."""
+    from repro.ml.optim import AdaGradUpdateRule, ConstantSchedule
+
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    base = matrix_factorization_workload(seed)
+    horizon = 450.0 if scale is ExperimentScale.FULL else 120.0
+
+    staleness: Dict[str, float] = {}
+    final_loss: Dict[str, float] = {}
+    for optimizer_name, rule_factory in [
+        ("sgd", base.update_rule_factory),
+        ("adagrad", lambda: AdaGradUpdateRule(ConstantSchedule(0.3))),
+    ]:
+        workload = base.with_overrides(update_rule_factory=rule_factory)
+        for scheme_name, policy_factory in [
+            ("asp", AspPolicy), ("specsync", SpecSyncPolicy.adaptive)
+        ]:
+            result = workload.run(
+                cluster, policy_factory(), seed=seed, horizon_s=horizon
+            )
+            key = f"{optimizer_name}+{scheme_name}"
+            staleness[key] = result.mean_staleness
+            final_loss[key] = result.final_loss
+    return OptimizerAblation(staleness=staleness, final_loss=final_loss)
+
+
+# ----------------------------------------------------------------------
+# 6. Failure injection (extension beyond the paper)
+# ----------------------------------------------------------------------
+@dataclass
+class FailureInjectionAblation:
+    """A scripted fail-slow node mid-training, ASP vs SpecSync."""
+
+    staleness_p95: Dict[str, float]
+    time_to_target: Dict[str, Optional[float]]
+    victim_iterations: Dict[str, int]
+    target: float
+
+    def render(self) -> str:
+        table = TextTable(
+            ["scheme", "p95 staleness", "time to target", "victim iterations"],
+            title="Ablation: fail-slow node injection (worker 0, 4x for 1/3 of the run)",
+        )
+        for name in self.staleness_p95:
+            time = self.time_to_target[name]
+            table.add_row(
+                [
+                    name,
+                    f"{self.staleness_p95[name]:.0f}",
+                    f"{time:.0f}s" if time is not None else "did not converge",
+                    self.victim_iterations[name],
+                ]
+            )
+        return table.render()
+
+
+def run_ablation_failure_injection(
+    scale: ExperimentScale = ExperimentScale.FULL, seed: int = 3
+) -> FailureInjectionAblation:
+    from repro.cluster.scenarios import SlowdownWindow, build_scenario_models
+    from repro.metrics.staleness import StalenessAnalysis
+    from repro.utils.rng import RngStreams
+
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    workload = matrix_factorization_workload(seed)
+    horizon = workload.default_horizon_s
+    window = SlowdownWindow(
+        start_s=horizon / 3.0, end_s=2.0 * horizon / 3.0, factor=4.0
+    )
+    models = build_scenario_models(
+        cluster, workload.base_compute, {0: [window]}
+    )
+
+    staleness_p95: Dict[str, float] = {}
+    times: Dict[str, Optional[float]] = {}
+    victim: Dict[str, int] = {}
+    for name, policy_factory in [("asp", AspPolicy),
+                                 ("specsync", SpecSyncPolicy.adaptive)]:
+        dataset = workload.dataset_factory(seed)
+        partitions = dataset.partition(
+            cluster.num_workers, RngStreams(seed).get("partition")
+        )
+        from repro.ps.engine import TrainingEngine, EngineConfig
+
+        engine = TrainingEngine(
+            model=workload.model_factory(),
+            partitions=partitions,
+            eval_batch=dataset.eval_batch(),
+            update_rule=workload.update_rule_factory(),
+            policy=policy_factory(),
+            cluster=cluster,
+            base_compute_model=workload.base_compute,
+            config=EngineConfig(
+                batch_size=workload.batch_size,
+                horizon_s=horizon,
+                eval_interval_s=workload.eval_interval_s,
+                param_wire_bytes=workload.param_wire_bytes,
+                link=workload.link,
+            ),
+            seed=seed,
+            workload_name=workload.name,
+            compute_models=models,
+        )
+        result = engine.run()
+        staleness_p95[name] = StalenessAnalysis(result.traces).overall.p95
+        times[name] = result.time_to_convergence(workload.convergence)
+        victim[name] = result.worker_stats[0].iterations
+    return FailureInjectionAblation(
+        staleness_p95=staleness_p95,
+        time_to_target=times,
+        victim_iterations=victim,
+        target=workload.convergence.target_loss,
+    )
+
+
+# ----------------------------------------------------------------------
+# 7. Orthogonality with staleness-aware SGD (related work [29])
+# ----------------------------------------------------------------------
+@dataclass
+class OrthogonalityAblation:
+    """SpecSync combined with staleness-aware learning rates."""
+
+    time_to_target: Dict[str, Optional[float]]
+    staleness: Dict[str, float]
+    target: float
+
+    def render(self) -> str:
+        table = TextTable(
+            ["configuration", "time to target", "mean staleness"],
+            title=(
+                "Ablation: orthogonality with staleness-aware SGD "
+                f"(target {self.target})"
+            ),
+        )
+        for name, time in self.time_to_target.items():
+            table.add_row(
+                [
+                    name,
+                    f"{time:.0f}s" if time is not None else "did not converge",
+                    f"{self.staleness[name]:.1f}",
+                ]
+            )
+        return table.render()
+
+
+def run_ablation_orthogonality(
+    scale: ExperimentScale = ExperimentScale.FULL, seed: int = 3
+) -> OrthogonalityAblation:
+    """The paper (Section VII): staleness-aware techniques "are orthogonal
+    to our proposal and can be combined together with SpecSync".  Race
+    plain ASP, staleness-aware ASP, SpecSync, and the combination."""
+    from repro.ml.optim import StalenessAwareUpdateRule, StepDecaySchedule
+
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    base = matrix_factorization_workload(seed)
+    # Same schedule as the MF preset; relative damping around the expected
+    # ASP staleness (m−1) so typical pushes keep the tuned rate and only
+    # the extra-stale tail is damped.
+    aware_factory = lambda: StalenessAwareUpdateRule(  # noqa: E731
+        StepDecaySchedule(0.35, (5000, 8000), 0.4),
+        min_scale=0.05, clip_norm=10.0,
+        reference_staleness=num_workers - 1,
+    )
+
+    configs = {
+        "asp + plain sgd": (base, AspPolicy),
+        "asp + staleness-aware": (
+            base.with_overrides(update_rule_factory=aware_factory), AspPolicy
+        ),
+        "specsync + plain sgd": (base, SpecSyncPolicy.adaptive),
+        "specsync + staleness-aware": (
+            base.with_overrides(update_rule_factory=aware_factory),
+            SpecSyncPolicy.adaptive,
+        ),
+    }
+    times: Dict[str, Optional[float]] = {}
+    staleness: Dict[str, float] = {}
+    for name, (workload, policy_factory) in configs.items():
+        result = workload.run(
+            cluster, policy_factory(), seed=seed, early_stop=True
+        )
+        times[name] = result.time_to_convergence(workload.convergence)
+        staleness[name] = result.mean_staleness
+    return OrthogonalityAblation(
+        time_to_target=times, staleness=staleness,
+        target=base.convergence.target_loss,
+    )

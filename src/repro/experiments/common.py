@@ -1,0 +1,120 @@
+"""Shared plumbing for the experiment drivers."""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.hyperparams import SpecSyncHyperparams
+from repro.core.specsync import SpecSyncPolicy
+from repro.ps.policy import SyncPolicy
+from repro.ps.result import RunResult
+from repro.sync import AspPolicy, BspPolicy, SspPolicy
+from repro.workloads.base import Workload
+
+__all__ = [
+    "ExperimentScale",
+    "SchemeSpec",
+    "scheme_catalog",
+    "run_scheme",
+    "mean",
+    "CHERRYPICK_DEFAULTS",
+]
+
+
+class ExperimentScale(enum.Enum):
+    """How heavy the experiment runs are.
+
+    ``FULL`` — the paper's dimensions (40 workers, full horizons).
+    ``SMOKE`` — a down-scaled variant (fewer workers / shorter horizon) used
+    by CI-style quick checks; set via REPRO_SCALE=smoke.
+    """
+
+    FULL = "full"
+    SMOKE = "smoke"
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        value = os.environ.get("REPRO_SCALE", "full").lower()
+        return cls.SMOKE if value == "smoke" else cls.FULL
+
+
+#: Fixed SpecSync hyperparameters for the Cherrypick variant, one per
+#: workload.  These were produced by the grid-search driver in
+#: :mod:`repro.experiments.cherrypick_search` over the Table-II-sized grid
+#: (see EXPERIMENTS.md); re-run ``grid_search_hyperparams`` to regenerate.
+CHERRYPICK_DEFAULTS: Dict[str, SpecSyncHyperparams] = {
+    "mf": SpecSyncHyperparams(abort_time_s=0.7, abort_rate=0.175),
+    "cifar10": SpecSyncHyperparams(abort_time_s=3.0, abort_rate=0.175),
+    "imagenet": SpecSyncHyperparams(abort_time_s=15.0, abort_rate=0.175),
+    "tiny": SpecSyncHyperparams(abort_time_s=0.25, abort_rate=0.2),
+}
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A named scheme factory (policies are single-run objects)."""
+
+    key: str
+    display_name: str
+    factory: Callable[[], SyncPolicy]
+
+    def make(self) -> SyncPolicy:
+        """Instantiate a fresh policy (policies are single-run objects)."""
+        return self.factory()
+
+
+def scheme_catalog(workload_name: str) -> Dict[str, SchemeSpec]:
+    """All schemes the experiments use, keyed by short name.
+
+    The paper's three headline schemes are ``original`` (ASP),
+    ``cherrypick`` and ``adaptive``; the rest appear in discussion and
+    ablation experiments.
+    """
+    cherry = CHERRYPICK_DEFAULTS.get(
+        workload_name, CHERRYPICK_DEFAULTS["tiny"]
+    )
+    return {
+        "original": SchemeSpec("original", "Original (ASP)", AspPolicy),
+        "bsp": SchemeSpec("bsp", "BSP", BspPolicy),
+        "ssp": SchemeSpec("ssp", "SSP (s=3)", lambda: SspPolicy(staleness_bound=3)),
+        "cherrypick": SchemeSpec(
+            "cherrypick",
+            "SpecSync-Cherrypick",
+            lambda: SpecSyncPolicy.cherrypick(cherry),
+        ),
+        "adaptive": SchemeSpec(
+            "adaptive", "SpecSync-Adaptive", SpecSyncPolicy.adaptive
+        ),
+        "adaptive+ssp": SchemeSpec(
+            "adaptive+ssp",
+            "SpecSync-Adaptive on SSP",
+            lambda: SpecSyncPolicy.adaptive(
+                base_policy=SspPolicy(staleness_bound=3)
+            ),
+        ),
+    }
+
+
+def run_scheme(
+    workload: Workload,
+    cluster: ClusterSpec,
+    scheme: SchemeSpec,
+    seed: int = 3,
+    horizon_s: Optional[float] = None,
+    **kwargs,
+) -> RunResult:
+    """Run one (workload, cluster, scheme, seed) cell."""
+    return workload.run(
+        cluster, scheme.make(), seed=seed, horizon_s=horizon_s, **kwargs
+    )
+
+
+def mean(values: List[float]) -> float:
+    """Plain mean with an explicit error for empty input."""
+    if not values:
+        raise ValueError("mean of empty list")
+    return sum(values) / len(values)

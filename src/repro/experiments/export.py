@@ -1,0 +1,92 @@
+"""CSV export of figure data series.
+
+The text renderers show shape in the terminal; these writers dump the
+underlying series as CSV so the figures can be re-plotted with any tool
+(the files land next to the text results in ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.fig5_naive_waiting import Fig5Result
+    from repro.experiments.fig8_effectiveness import Fig8Result
+    from repro.experiments.fig12_transfer import Fig12Result
+    from repro.experiments.fig3_pap import Fig3Result
+
+__all__ = [
+    "export_fig3_csv",
+    "export_fig5_csv",
+    "export_fig8_csv",
+    "export_fig12_csv",
+]
+
+
+def _open_writer(path: pathlib.Path):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = open(path, "w", newline="", encoding="utf-8")
+    return handle, csv.writer(handle)
+
+
+def export_fig3_csv(result: "Fig3Result", path: pathlib.Path) -> int:
+    """PAP box stats: one row per (workload, interval).  Returns row count."""
+    handle, writer = _open_writer(path)
+    rows = 0
+    with handle:
+        writer.writerow(["workload", "interval_start_s", "p5", "p25",
+                         "median", "p75", "p95"])
+        for workload, intervals in result.boxes.items():
+            for idx in sorted(intervals):
+                box = intervals[idx]
+                writer.writerow([workload, idx, box.p5, box.p25, box.median,
+                                 box.p75, box.p95])
+                rows += 1
+    return rows
+
+
+def export_fig5_csv(result: "Fig5Result", path: pathlib.Path) -> int:
+    """Naive-waiting learning curves: (workload, delay, time, loss) rows."""
+    handle, writer = _open_writer(path)
+    rows = 0
+    with handle:
+        writer.writerow(["workload", "delay_s", "time_s", "loss"])
+        for workload, per_delay in result.curves.items():
+            for delay, curve in per_delay.items():
+                for point in curve:
+                    writer.writerow([workload, delay, point.time, point.loss])
+                    rows += 1
+    return rows
+
+
+def export_fig8_csv(result: "Fig8Result", path: pathlib.Path) -> int:
+    """Effectiveness loss curves: (workload, scheme, time, iters, loss)."""
+    handle, writer = _open_writer(path)
+    rows = 0
+    with handle:
+        writer.writerow(["workload", "scheme", "time_s", "total_iterations",
+                         "loss"])
+        for cell in result.cells:
+            if cell.result is None:
+                continue
+            for point in cell.result.curve:
+                writer.writerow([cell.workload, cell.scheme, point.time,
+                                 point.total_iterations, point.loss])
+                rows += 1
+    return rows
+
+
+def export_fig12_csv(result: "Fig12Result", path: pathlib.Path) -> int:
+    """Accumulated-transfer series: (workload, scheme, time, bytes)."""
+    handle, writer = _open_writer(path)
+    rows = 0
+    with handle:
+        writer.writerow(["workload", "scheme", "time_s", "cumulative_bytes"])
+        for workload, per_scheme in result.series.items():
+            for scheme, series in per_scheme.items():
+                for time, total in series:
+                    writer.writerow([workload, scheme, time, total])
+                    rows += 1
+    return rows

@@ -1,0 +1,102 @@
+"""Fig. 10 — robustness to heterogeneity.
+
+Runs CIFAR-10 under Original and SpecSync-Adaptive on both the homogeneous
+Cluster 1 and the 4-instance-type Cluster 2, reporting loss curves and
+time-to-target.  The paper's observations, all checked by the bench:
+
+* SpecSync-Adaptive beats Original on both cluster types;
+* heterogeneity slows everyone down;
+* the speedup on the heterogeneous cluster is smaller than on the
+  homogeneous one (the tuner's uniform-arrival assumption degrades).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.common import ExperimentScale, run_scheme, scheme_catalog
+from repro.metrics.curves import LossCurve
+from repro.utils.tables import TextTable
+from repro.workloads.presets import cifar10_workload
+
+__all__ = ["Fig10Result", "run_fig10"]
+
+
+@dataclass
+class Fig10Result:
+    #: (cluster kind, scheme) -> loss curve
+    curves: Dict[str, Dict[str, LossCurve]]
+    #: (cluster kind, scheme) -> time to target
+    time_to_target: Dict[str, Dict[str, Optional[float]]]
+    target: float
+
+    def speedup(self, cluster_kind: str) -> Optional[float]:
+        orig = self.time_to_target[cluster_kind].get("original")
+        spec = self.time_to_target[cluster_kind].get("adaptive")
+        if orig is None or spec is None:
+            return None
+        return orig / spec
+
+    def render(self) -> str:
+        table = TextTable(
+            ["Cluster", "Scheme", "Time to target", "Speedup"],
+            title=f"Fig. 10: CIFAR-10 heterogeneity robustness (target {self.target})",
+        )
+        for kind, per_scheme in self.time_to_target.items():
+            speedup = self.speedup(kind)
+            for scheme in ("original", "adaptive"):
+                time = per_scheme.get(scheme)
+                table.add_row(
+                    [
+                        kind,
+                        scheme,
+                        f"{time:.0f}s" if time is not None else "did not converge",
+                        f"{speedup:.2f}x" if (
+                            scheme == "adaptive" and speedup is not None
+                        ) else "-",
+                    ]
+                )
+        return table.render()
+
+
+def run_fig10(
+    scale: ExperimentScale = ExperimentScale.FULL, seed: int = 3
+) -> Fig10Result:
+    if scale is ExperimentScale.FULL:
+        clusters = {
+            "homogeneous (Cluster 1)": ClusterSpec.homogeneous(40),
+            "heterogeneous (Cluster 2)": ClusterSpec.heterogeneous(),
+        }
+    else:
+        clusters = {
+            "homogeneous (Cluster 1)": ClusterSpec.homogeneous(8),
+            "heterogeneous (Cluster 2)": ClusterSpec.heterogeneous(
+                [("m3.xlarge", 2), ("m3.2xlarge", 2),
+                 ("m4.xlarge", 2), ("m4.2xlarge", 2)]
+            ),
+        }
+    workload = cifar10_workload(seed)
+    catalog = scheme_catalog(workload.name)
+
+    curves: Dict[str, Dict[str, LossCurve]] = {}
+    times: Dict[str, Dict[str, Optional[float]]] = {}
+    for kind, cluster in clusters.items():
+        curves[kind] = {}
+        times[kind] = {}
+        for scheme_key in ("original", "adaptive"):
+            result = run_scheme(workload, cluster, catalog[scheme_key], seed=seed,
+                                early_stop=True)
+            curves[kind][scheme_key] = result.curve
+            times[kind][scheme_key] = result.time_to_convergence(
+                workload.convergence
+            )
+    return Fig10Result(
+        curves=curves, time_to_target=times,
+        target=workload.convergence.target_loss,
+    )
+
+
+if __name__ == "__main__":
+    print(run_fig10(ExperimentScale.from_env()).render())

@@ -1,0 +1,108 @@
+"""Fig. 11 — scalability with cluster size.
+
+Two scenarios from the paper, both on CIFAR-10 with 20 / 30 / 40 workers:
+
+* **target-accuracy scenario** (left plot): speedup of SpecSync-Adaptive
+  over Original in runtime to the same target loss;
+* **fixed-budget scenario** (right plot): loss improvement of
+  SpecSync-Adaptive over Original after training for the same amount of
+  (virtual) time.
+
+The paper's claim: SpecSync consistently wins, and the gap widens as the
+cluster grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.common import ExperimentScale, run_scheme, scheme_catalog
+from repro.utils.tables import TextTable
+from repro.workloads.presets import cifar10_workload
+
+__all__ = ["Fig11Result", "run_fig11", "CLUSTER_SIZES"]
+
+CLUSTER_SIZES = (20, 30, 40)
+
+
+@dataclass
+class Fig11Result:
+    #: cluster size -> scheme -> time to target
+    time_to_target: Dict[int, Dict[str, Optional[float]]]
+    #: cluster size -> scheme -> loss at the fixed budget
+    loss_at_budget: Dict[int, Dict[str, float]]
+    budget_s: float
+    target: float
+
+    def speedup(self, size: int) -> Optional[float]:
+        orig = self.time_to_target[size].get("original")
+        spec = self.time_to_target[size].get("adaptive")
+        if orig is None or spec is None:
+            return None
+        return orig / spec
+
+    def loss_improvement(self, size: int) -> float:
+        """Relative loss improvement at the fixed budget (positive = better)."""
+        orig = self.loss_at_budget[size]["original"]
+        spec = self.loss_at_budget[size]["adaptive"]
+        return (orig - spec) / orig
+
+    def render(self) -> str:
+        table = TextTable(
+            ["Workers", "Speedup to target", "Loss (Original)",
+             "Loss (Adaptive)", "Improvement at budget"],
+            title=(
+                f"Fig. 11: CIFAR-10 scalability "
+                f"(target {self.target}, budget {self.budget_s:.0f}s)"
+            ),
+        )
+        for size in sorted(self.time_to_target):
+            speedup = self.speedup(size)
+            table.add_row(
+                [
+                    size,
+                    f"{speedup:.2f}x" if speedup is not None else "-",
+                    f"{self.loss_at_budget[size]['original']:.3f}",
+                    f"{self.loss_at_budget[size]['adaptive']:.3f}",
+                    f"{self.loss_improvement(size):.0%}",
+                ]
+            )
+        return table.render()
+
+
+def run_fig11(
+    scale: ExperimentScale = ExperimentScale.FULL,
+    seed: int = 3,
+    sizes: Sequence[int] = CLUSTER_SIZES,
+    budget_s: Optional[float] = None,
+) -> Fig11Result:
+    if scale is ExperimentScale.SMOKE:
+        sizes = tuple(max(4, s // 4) for s in sizes)
+    workload = cifar10_workload(seed)
+    catalog = scheme_catalog(workload.name)
+    budget = budget_s if budget_s is not None else workload.default_horizon_s / 4
+
+    times: Dict[int, Dict[str, Optional[float]]] = {}
+    losses: Dict[int, Dict[str, float]] = {}
+    for size in sizes:
+        cluster = ClusterSpec.homogeneous(size)
+        times[size] = {}
+        losses[size] = {}
+        for scheme_key in ("original", "adaptive"):
+            result = run_scheme(workload, cluster, catalog[scheme_key], seed=seed)
+            times[size][scheme_key] = result.time_to_convergence(
+                workload.convergence
+            )
+            losses[size][scheme_key] = result.curve.loss_at_time(budget)
+    return Fig11Result(
+        time_to_target=times,
+        loss_at_budget=losses,
+        budget_s=budget,
+        target=workload.convergence.target_loss,
+    )
+
+
+if __name__ == "__main__":
+    print(run_fig11(ExperimentScale.from_env()).render())

@@ -1,0 +1,117 @@
+"""Fig. 12 — accumulated data transfer over time, Original vs Adaptive.
+
+The paper's claims, both checked here:
+
+* the accumulated-transfer curves of Original and SpecSync-Adaptive stay
+  close at all times (SpecSync adds only small re-pull + control traffic
+  per unit time);
+* because SpecSync converges sooner, its *total* transfer to convergence is
+  smaller (the paper's CIFAR-10 example: 3.17 TB vs 2.00 TB, ≈ 40% less).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.common import ExperimentScale, run_scheme, scheme_catalog
+from repro.utils.tables import TextTable, format_bytes
+from repro.workloads.base import Workload
+from repro.workloads.presets import PAPER_WORKLOADS
+
+__all__ = ["Fig12Result", "run_fig12"]
+
+
+@dataclass
+class Fig12Result:
+    #: workload -> scheme -> (time, cumulative bytes) series
+    series: Dict[str, Dict[str, List[Tuple[float, float]]]]
+    #: workload -> scheme -> total bytes transferred by convergence
+    total_to_convergence: Dict[str, Dict[str, Optional[float]]]
+    #: workload -> scheme -> mean transfer rate (bytes per virtual second)
+    rate: Dict[str, Dict[str, float]]
+
+    def rate_overhead(self, workload: str) -> float:
+        """Adaptive's transfer-rate overhead over Original (0.05 = +5%)."""
+        orig = self.rate[workload]["original"]
+        spec = self.rate[workload]["adaptive"]
+        return spec / orig - 1.0
+
+    def transfer_saving(self, workload: str) -> Optional[float]:
+        """Fractional total-transfer saving to convergence (paper: ~40%)."""
+        orig = self.total_to_convergence[workload]["original"]
+        spec = self.total_to_convergence[workload]["adaptive"]
+        if orig is None or spec is None or orig == 0:
+            return None
+        return 1.0 - spec / orig
+
+    def render(self) -> str:
+        table = TextTable(
+            ["Workload", "Scheme", "Rate (bytes/s)", "Total to convergence",
+             "Saving"],
+            title="Fig. 12: Accumulated data transfer",
+        )
+        for workload, per_scheme in self.total_to_convergence.items():
+            saving = self.transfer_saving(workload)
+            for scheme in ("original", "adaptive"):
+                total = per_scheme[scheme]
+                table.add_row(
+                    [
+                        workload,
+                        scheme,
+                        format_bytes(self.rate[workload][scheme]),
+                        format_bytes(total) if total is not None else "n/a",
+                        f"{saving:.0%}" if (
+                            scheme == "adaptive" and saving is not None
+                        ) else "-",
+                    ]
+                )
+        return table.render()
+
+
+def run_fig12(
+    scale: ExperimentScale = ExperimentScale.FULL,
+    seed: int = 3,
+    workloads: Optional[Sequence[Workload]] = None,
+    num_samples: int = 50,
+) -> Fig12Result:
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    if workloads is None:
+        workloads = PAPER_WORKLOADS(seed)
+        if scale is ExperimentScale.SMOKE:
+            workloads = workloads[:1]
+
+    series: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    totals: Dict[str, Dict[str, Optional[float]]] = {}
+    rates: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        series[workload.name] = {}
+        totals[workload.name] = {}
+        rates[workload.name] = {}
+        catalog = scheme_catalog(workload.name)
+        for scheme_key in ("original", "adaptive"):
+            result = run_scheme(workload, cluster, catalog[scheme_key], seed=seed)
+            sample_times = list(
+                np.linspace(0.0, workload.default_horizon_s, num_samples)
+            )
+            series[workload.name][scheme_key] = result.ledger.cumulative_series(
+                sample_times
+            )
+            converge_time = result.time_to_convergence(workload.convergence)
+            totals[workload.name][scheme_key] = (
+                result.ledger.cumulative_at(converge_time)
+                if converge_time is not None
+                else None
+            )
+            rates[workload.name][scheme_key] = (
+                result.ledger.total_bytes / workload.default_horizon_s
+            )
+    return Fig12Result(series=series, total_to_convergence=totals, rate=rates)
+
+
+if __name__ == "__main__":
+    print(run_fig12(ExperimentScale.from_env()).render())

@@ -1,0 +1,76 @@
+"""Fig. 13 — data-transfer breakdown for SpecSync-Adaptive.
+
+Splits the total transfer of an Adaptive run into parameter pulls, gradient
+pushes, and SpecSync control traffic (notify / re-sync / acks), per
+workload.  The control share should be negligible — the property that makes
+the centralized-scheduler design viable (paper Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.common import ExperimentScale, run_scheme, scheme_catalog
+from repro.utils.tables import TextTable, format_bytes
+from repro.workloads.base import Workload
+from repro.workloads.presets import PAPER_WORKLOADS
+
+__all__ = ["Fig13Result", "run_fig13"]
+
+
+@dataclass
+class Fig13Result:
+    #: workload -> category -> bytes
+    breakdown: Dict[str, Dict[str, float]]
+    #: workload -> fine-grained per-kind bytes
+    by_kind: Dict[str, Dict[str, float]]
+
+    def control_fraction(self, workload: str) -> float:
+        per_cat = self.breakdown[workload]
+        total = sum(per_cat.values())
+        return per_cat.get("control", 0.0) / total if total else 0.0
+
+    def render(self) -> str:
+        table = TextTable(
+            ["Workload", "Pull", "Push", "Control", "Control share"],
+            title="Fig. 13: SpecSync-Adaptive transfer breakdown",
+        )
+        for workload, per_cat in self.breakdown.items():
+            table.add_row(
+                [
+                    workload,
+                    format_bytes(per_cat.get("pull", 0.0)),
+                    format_bytes(per_cat.get("push", 0.0)),
+                    format_bytes(per_cat.get("control", 0.0)),
+                    f"{self.control_fraction(workload):.4%}",
+                ]
+            )
+        return table.render()
+
+
+def run_fig13(
+    scale: ExperimentScale = ExperimentScale.FULL,
+    seed: int = 3,
+    workloads: Optional[Sequence[Workload]] = None,
+) -> Fig13Result:
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    if workloads is None:
+        workloads = PAPER_WORKLOADS(seed)
+        if scale is ExperimentScale.SMOKE:
+            workloads = workloads[:1]
+
+    breakdown: Dict[str, Dict[str, float]] = {}
+    by_kind: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        catalog = scheme_catalog(workload.name)
+        result = run_scheme(workload, cluster, catalog["adaptive"], seed=seed)
+        breakdown[workload.name] = result.ledger.bytes_by_category()
+        by_kind[workload.name] = result.ledger.bytes_by_kind()
+    return Fig13Result(breakdown=breakdown, by_kind=by_kind)
+
+
+if __name__ == "__main__":
+    print(run_fig13(ExperimentScale.from_env()).render())

@@ -1,0 +1,120 @@
+"""Fig. 5 — naïve waiting learning curves for different fixed delays.
+
+Runs CIFAR-10 and MF under naïve waiting with delays {0, 1, 3, 5} seconds
+(0 = the Original ASP scheme) and reports each delay's loss curve and
+time-to-target.  The paper's observed shape: a 1-second delay helps both
+workloads, 3 seconds yields little benefit over Original, and 5 seconds
+does more harm than good.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.common import ExperimentScale
+from repro.metrics.curves import LossCurve
+from repro.sync import NaiveWaitingPolicy
+from repro.utils.tables import TextTable
+from repro.workloads.presets import cifar10_workload, matrix_factorization_workload
+
+__all__ = ["Fig5Result", "run_fig5", "DELAYS_S", "DELAY_GRIDS"]
+
+DELAYS_S = (0.0, 1.0, 3.0, 5.0)
+
+#: Per-workload delay grids.  MF uses the paper's exact {0,1,3,5}s set; for
+#: CIFAR-10 the grid is extended because in our substrate the naive-waiting
+#: optimum falls near 5 s (the paper's falls near 1-3 s) — the extra points
+#: make the same crossover shape visible (see EXPERIMENTS.md, deviations).
+DELAY_GRIDS = {
+    "mf": DELAYS_S,
+    "cifar10": (0.0, 1.0, 3.0, 5.0, 8.0, 12.0),
+}
+
+
+@dataclass
+class Fig5Result:
+    #: workload -> delay -> loss curve
+    curves: Dict[str, Dict[float, LossCurve]]
+    #: workload -> delay -> time to the workload's target loss (None = never)
+    time_to_target: Dict[str, Dict[float, Optional[float]]]
+    #: workload -> delay -> mean staleness
+    staleness: Dict[str, Dict[float, float]]
+    targets: Dict[str, float]
+
+    def best_delay(self, workload: str) -> float:
+        """The delay with the fastest time-to-target (ties to smaller delay)."""
+        entries: List[Tuple[float, float]] = [
+            (time, delay)
+            for delay, time in self.time_to_target[workload].items()
+            if time is not None
+        ]
+        if not entries:
+            raise ValueError(f"no delay reached the target for {workload}")
+        return min(entries)[1]
+
+    def render(self) -> str:
+        blocks = []
+        for workload, per_delay in self.time_to_target.items():
+            table = TextTable(
+                ["delay", "time to target", "mean staleness", "final loss"],
+                title=(
+                    f"Fig. 5 ({workload}): naive waiting, "
+                    f"target loss {self.targets[workload]}"
+                ),
+            )
+            for delay in sorted(per_delay):
+                time = per_delay[delay]
+                table.add_row(
+                    [
+                        f"{delay:.0f}s" if delay else "0s (Original)",
+                        f"{time:.0f}s" if time is not None else "never",
+                        f"{self.staleness[workload][delay]:.1f}",
+                        f"{self.curves[workload][delay].final_loss:.3f}",
+                    ]
+                )
+            blocks.append(table.render())
+        return "\n\n".join(blocks)
+
+
+def run_fig5(
+    scale: ExperimentScale = ExperimentScale.FULL,
+    seed: int = 3,
+    delays: "dict | Tuple[float, ...] | None" = None,
+) -> Fig5Result:
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    workloads = [cifar10_workload(seed), matrix_factorization_workload(seed)]
+
+    curves: Dict[str, Dict[float, LossCurve]] = {}
+    times: Dict[str, Dict[float, Optional[float]]] = {}
+    staleness: Dict[str, Dict[float, float]] = {}
+    targets: Dict[str, float] = {}
+    for workload in workloads:
+        if delays is None:
+            grid = DELAY_GRIDS.get(workload.name, DELAYS_S)
+        elif isinstance(delays, dict):
+            grid = delays.get(workload.name, DELAYS_S)
+        else:
+            grid = delays
+        curves[workload.name] = {}
+        times[workload.name] = {}
+        staleness[workload.name] = {}
+        targets[workload.name] = workload.convergence.target_loss
+        for delay in grid:
+            result = workload.run(
+                cluster, NaiveWaitingPolicy(delay), seed=seed, early_stop=True
+            )
+            curves[workload.name][delay] = result.curve
+            times[workload.name][delay] = result.time_to_convergence(
+                workload.convergence
+            )
+            staleness[workload.name][delay] = result.mean_staleness
+    return Fig5Result(
+        curves=curves, time_to_target=times, staleness=staleness, targets=targets
+    )
+
+
+if __name__ == "__main__":
+    print(run_fig5(ExperimentScale.from_env()).render())

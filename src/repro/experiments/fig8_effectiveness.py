@@ -1,0 +1,181 @@
+"""Fig. 8 — effectiveness: loss-over-time and runtime-to-convergence.
+
+For each Table-I workload on Cluster 1 (40 × m4.xlarge), runs the paper's
+three schemes — Original (ASP), SpecSync-Cherrypick, SpecSync-Adaptive —
+and reports each scheme's loss curve, runtime to convergence (loss below
+target for 5 consecutive evaluations), and speedup over Original.
+
+Paper headline: up to 2.97× (MF), 2.25× (CIFAR-10), 3× (ImageNet); and the
+Adaptive variant lands close to Cherrypick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.common import (
+    ExperimentScale,
+    SchemeSpec,
+    run_scheme,
+    scheme_catalog,
+)
+from repro.ps.result import RunResult
+from repro.utils.tables import TextTable
+from repro.workloads.base import Workload
+from repro.workloads.presets import PAPER_WORKLOADS
+
+__all__ = ["Fig8Cell", "Fig8Result", "run_fig8", "FIG8_SCHEMES"]
+
+FIG8_SCHEMES = ("original", "cherrypick", "adaptive")
+
+
+@dataclass
+class Fig8Cell:
+    """One (workload, scheme) cell of the effectiveness matrix."""
+
+    workload: str
+    scheme: str
+    display_name: str
+    result: RunResult
+    time_to_convergence: Optional[float]
+
+    @property
+    def converged(self) -> bool:
+        return self.time_to_convergence is not None
+
+
+@dataclass
+class Fig8Result:
+    cells: List[Fig8Cell]
+    targets: Dict[str, float]
+
+    def cell(self, workload: str, scheme: str) -> Fig8Cell:
+        for cell in self.cells:
+            if cell.workload == workload and cell.scheme == scheme:
+                return cell
+        raise KeyError(f"no cell for ({workload}, {scheme})")
+
+    def speedup(self, workload: str, scheme: str) -> Optional[float]:
+        """Speedup of ``scheme`` over Original on ``workload``."""
+        base = self.cell(workload, "original").time_to_convergence
+        mine = self.cell(workload, scheme).time_to_convergence
+        if base is None or mine is None:
+            return None
+        return base / mine
+
+    def workloads(self) -> List[str]:
+        seen: List[str] = []
+        for cell in self.cells:
+            if cell.workload not in seen:
+                seen.append(cell.workload)
+        return seen
+
+    def render(self, with_curves: bool = True) -> str:
+        table = TextTable(
+            ["Workload", "Scheme", "Runtime to convergence",
+             "Speedup vs Original", "Final loss", "Aborts"],
+            title="Fig. 8: Effectiveness of SpecSync (Cluster 1)",
+        )
+        for workload in self.workloads():
+            for scheme in FIG8_SCHEMES:
+                try:
+                    cell = self.cell(workload, scheme)
+                except KeyError:
+                    continue
+                time = cell.time_to_convergence
+                speedup = self.speedup(workload, scheme)
+                table.add_row(
+                    [
+                        f"{workload} (target {self.targets[workload]})",
+                        cell.display_name,
+                        f"{time:.0f}s" if time is not None else "did not converge",
+                        f"{speedup:.2f}x" if speedup is not None else "-",
+                        f"{cell.result.final_loss:.3f}",
+                        cell.result.total_aborts,
+                    ]
+                )
+        blocks = [table.render()]
+        if with_curves:
+            blocks.extend(self._render_curves())
+        return "\n\n".join(blocks)
+
+    def _render_curves(self) -> List[str]:
+        """The loss-over-time panels of Fig. 8, as ASCII plots.
+
+        Transient early-training loss spikes would flatten the interesting
+        convergence region, so the y-axis is clipped at the 90th percentile
+        of all plotted values (marked in the panel title when it bites).
+        """
+        from repro.utils.ascii_plot import ascii_plot
+
+        blocks = []
+        for workload in self.workloads():
+            series = {}
+            for scheme in FIG8_SCHEMES:
+                try:
+                    cell = self.cell(workload, scheme)
+                except KeyError:
+                    continue
+                if cell.result is not None and len(cell.result.curve):
+                    series[scheme] = cell.result.curve.as_series()
+            if not series:
+                continue
+            values = sorted(v for pts in series.values() for _, v in pts)
+            cap = values[int(len(values) * 0.9)] if len(values) > 10 else values[-1]
+            clipped = {
+                name: [(t, min(v, cap)) for t, v in pts]
+                for name, pts in series.items()
+            }
+            capped = cap < values[-1]
+            title = f"loss over time ({workload})" + (
+                f" [y clipped at {cap:.3g}]" if capped else ""
+            )
+            blocks.append(
+                title + ":\n"
+                + ascii_plot(clipped, x_label="virtual s", y_label="loss")
+            )
+        return blocks
+
+
+def run_fig8(
+    scale: ExperimentScale = ExperimentScale.FULL,
+    seed: int = 3,
+    schemes: Sequence[str] = FIG8_SCHEMES,
+    workloads: Optional[Sequence[Workload]] = None,
+) -> Fig8Result:
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    if workloads is None:
+        workloads = PAPER_WORKLOADS(seed)
+        if scale is ExperimentScale.SMOKE:
+            workloads = workloads[:1]  # MF only for the quick variant
+
+    cells: List[Fig8Cell] = []
+    targets: Dict[str, float] = {}
+    for workload in workloads:
+        targets[workload.name] = workload.convergence.target_loss
+        catalog = scheme_catalog(workload.name)
+        for scheme_key in schemes:
+            spec: SchemeSpec = catalog[scheme_key]
+            # early_stop halts each run once the paper's convergence
+            # criterion holds — runtime-to-convergence is unaffected.
+            result = run_scheme(workload, cluster, spec, seed=seed,
+                                early_stop=True)
+            cells.append(
+                Fig8Cell(
+                    workload=workload.name,
+                    scheme=scheme_key,
+                    display_name=spec.display_name,
+                    result=result,
+                    time_to_convergence=result.time_to_convergence(
+                        workload.convergence
+                    ),
+                )
+            )
+    return Fig8Result(cells=cells, targets=targets)
+
+
+if __name__ == "__main__":
+    print(run_fig8(ExperimentScale.from_env()).render())

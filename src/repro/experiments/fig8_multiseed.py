@@ -1,0 +1,107 @@
+"""Fig. 8 with seed-averaged statistics (a robustness extension).
+
+The paper reports point estimates from single deployments; the simulator
+can repeat every (workload, scheme) cell across seeds and report mean ± std
+runtime-to-convergence plus the fraction of seeds that converged — the
+evidence behind this reproduction's claim that the speedups are not
+seed-luck.
+
+Multi-seed at full scale multiplies the Fig. 8 cost by the seed count, so
+the default bench gates on ``REPRO_MULTISEED=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.common import ExperimentScale, scheme_catalog
+from repro.experiments.sweep import SweepResult, run_sweep, speedup_summary
+from repro.utils.tables import TextTable
+from repro.workloads.base import Workload
+from repro.workloads.presets import PAPER_WORKLOADS
+
+__all__ = ["Fig8MultiSeedResult", "run_fig8_multiseed"]
+
+
+@dataclass
+class Fig8MultiSeedResult:
+    """Seed-aggregated effectiveness matrix."""
+
+    sweep: SweepResult
+    seeds: Sequence[int]
+
+    def speedups(self, workload: str) -> Dict[str, Optional[float]]:
+        """Mean-runtime speedups over Original for one workload."""
+        return speedup_summary(self.sweep, "original", workload)
+
+    def render(self) -> str:
+        table = TextTable(
+            ["Workload", "Scheme", "Converged", "Runtime (mean±std)",
+             "Speedup vs Original"],
+            title=f"Fig. 8 across seeds {tuple(self.seeds)}",
+        )
+        for variant in self.sweep.variants():
+            speedups = self.speedups(variant)
+            for cell in self.sweep.cells:
+                if cell.variant != variant:
+                    continue
+                mean_time = cell.mean_time_to_target
+                std_time = cell.std_time_to_target
+                if mean_time is None:
+                    time_text = "never"
+                elif std_time is None:
+                    time_text = f"{mean_time:.0f}s"
+                else:
+                    time_text = f"{mean_time:.0f}s ± {std_time:.0f}s"
+                speedup = speedups.get(cell.scheme)
+                table.add_row(
+                    [
+                        variant,
+                        cell.scheme,
+                        f"{cell.converged_fraction:.0%}",
+                        time_text,
+                        f"{speedup:.2f}x" if speedup is not None else "-",
+                    ]
+                )
+        return table.render()
+
+
+def run_fig8_multiseed(
+    scale: ExperimentScale = ExperimentScale.FULL,
+    seeds: Sequence[int] = (1, 2, 3),
+    workloads: Optional[Sequence[Workload]] = None,
+    schemes: Sequence[str] = ("original", "adaptive"),
+) -> Fig8MultiSeedResult:
+    """Seed-sweep the effectiveness comparison (Original vs Adaptive by
+    default; pass more scheme keys for the full matrix)."""
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    if workloads is None:
+        workloads = PAPER_WORKLOADS(seeds[0])
+        if scale is ExperimentScale.SMOKE:
+            workloads = workloads[:1]
+
+    variants = {wl.name: wl for wl in workloads}
+    if "cherrypick" in schemes and len(variants) > 1:
+        # Cherrypick hyperparameters are per-workload; a single scheme
+        # factory cannot serve several workloads at once.
+        raise ValueError(
+            "cherrypick uses per-workload hyperparameters: run one "
+            "workload at a time when including it in a multi-seed sweep"
+        )
+    catalog = scheme_catalog(workloads[0].name)
+    scheme_factories = {key: catalog[key].factory for key in schemes}
+    sweep = run_sweep(
+        variants=variants,
+        schemes=scheme_factories,
+        cluster=cluster,
+        seeds=seeds,
+        early_stop=True,
+    )
+    return Fig8MultiSeedResult(sweep=sweep, seeds=tuple(seeds))
+
+
+if __name__ == "__main__":
+    print(run_fig8_multiseed(ExperimentScale.from_env()).render())

@@ -1,0 +1,97 @@
+"""Fig. 9 — loss as a function of iterations, and accumulated iterations.
+
+The companion view to Fig. 8: SpecSync iterations are individually longer
+(re-syncs stretch them) but higher quality, so convergence needs *fewer*
+iterations.  The paper reports up to 58% fewer iterations to converge for
+SpecSync vs Original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.common import ExperimentScale, run_scheme, scheme_catalog
+from repro.metrics.curves import LossCurve
+from repro.utils.tables import TextTable
+from repro.workloads.base import Workload
+from repro.workloads.presets import PAPER_WORKLOADS
+
+__all__ = ["Fig9Result", "run_fig9"]
+
+FIG9_SCHEMES = ("original", "adaptive")
+
+
+@dataclass
+class Fig9Result:
+    #: workload -> scheme -> loss curve (carries total_iterations per point)
+    curves: Dict[str, Dict[str, LossCurve]]
+    #: workload -> scheme -> iterations to reach the target (None = never)
+    iterations_to_target: Dict[str, Dict[str, Optional[int]]]
+    targets: Dict[str, float]
+
+    def iteration_reduction(self, workload: str) -> Optional[float]:
+        """Fraction of iterations saved by adaptive vs original (0.58 = 58%)."""
+        orig = self.iterations_to_target[workload].get("original")
+        spec = self.iterations_to_target[workload].get("adaptive")
+        if orig is None or spec is None or orig == 0:
+            return None
+        return 1.0 - spec / orig
+
+    def render(self) -> str:
+        table = TextTable(
+            ["Workload", "Scheme", "Iterations to target", "Reduction"],
+            title="Fig. 9: Iterations to convergence (paper: up to 58% fewer)",
+        )
+        for workload, per_scheme in self.iterations_to_target.items():
+            reduction = self.iteration_reduction(workload)
+            for scheme in FIG9_SCHEMES:
+                iters = per_scheme.get(scheme)
+                table.add_row(
+                    [
+                        f"{workload} (target {self.targets[workload]})",
+                        scheme,
+                        iters if iters is not None else "did not converge",
+                        f"{reduction:.0%}" if (
+                            scheme == "adaptive" and reduction is not None
+                        ) else "-",
+                    ]
+                )
+        return table.render()
+
+
+def run_fig9(
+    scale: ExperimentScale = ExperimentScale.FULL,
+    seed: int = 3,
+    workloads: Optional[Sequence[Workload]] = None,
+) -> Fig9Result:
+    num_workers = 40 if scale is ExperimentScale.FULL else 10
+    cluster = ClusterSpec.homogeneous(num_workers)
+    if workloads is None:
+        workloads = PAPER_WORKLOADS(seed)
+        if scale is ExperimentScale.SMOKE:
+            workloads = workloads[:1]
+
+    curves: Dict[str, Dict[str, LossCurve]] = {}
+    iterations: Dict[str, Dict[str, Optional[int]]] = {}
+    targets: Dict[str, float] = {}
+    for workload in workloads:
+        targets[workload.name] = workload.convergence.target_loss
+        curves[workload.name] = {}
+        iterations[workload.name] = {}
+        catalog = scheme_catalog(workload.name)
+        for scheme_key in FIG9_SCHEMES:
+            result = run_scheme(workload, cluster, catalog[scheme_key], seed=seed,
+                                early_stop=True)
+            curves[workload.name][scheme_key] = result.curve
+            iterations[workload.name][scheme_key] = (
+                result.curve.iterations_to_loss(workload.convergence.target_loss)
+            )
+    return Fig9Result(
+        curves=curves, iterations_to_target=iterations, targets=targets
+    )
+
+
+if __name__ == "__main__":
+    print(run_fig9(ExperimentScale.from_env()).render())

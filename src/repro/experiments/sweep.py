@@ -1,0 +1,158 @@
+"""Generic parameter sweeps with multi-seed aggregation.
+
+The paper reports point estimates from single cluster deployments; a
+simulator can do better.  :func:`run_sweep` races a grid of (workload
+variant × scheme × seed) cells and aggregates per-cell metrics across
+seeds, which is how robustness claims in this reproduction were validated
+(e.g. the Fig. 8 speedups hold across seeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.ps.policy import SyncPolicy
+from repro.ps.result import RunResult
+from repro.utils.tables import TextTable
+from repro.workloads.base import Workload
+
+__all__ = ["SweepCell", "SweepResult", "run_sweep", "speedup_summary"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One aggregated grid cell."""
+
+    variant: str
+    scheme: str
+    seeds: Tuple[int, ...]
+    times_to_target: Tuple[Optional[float], ...]
+    final_losses: Tuple[float, ...]
+    mean_staleness: Tuple[float, ...]
+
+    @property
+    def converged_fraction(self) -> float:
+        return sum(1 for t in self.times_to_target if t is not None) / len(
+            self.times_to_target
+        )
+
+    @property
+    def mean_time_to_target(self) -> Optional[float]:
+        times = [t for t in self.times_to_target if t is not None]
+        if not times:
+            return None
+        return float(np.mean(times))
+
+    @property
+    def std_time_to_target(self) -> Optional[float]:
+        times = [t for t in self.times_to_target if t is not None]
+        if len(times) < 2:
+            return None
+        return float(np.std(times, ddof=1))
+
+
+@dataclass
+class SweepResult:
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def cell(self, variant: str, scheme: str) -> SweepCell:
+        """Look up one aggregated (variant, scheme) cell."""
+        for cell in self.cells:
+            if cell.variant == variant and cell.scheme == scheme:
+                return cell
+        raise KeyError(f"no cell ({variant}, {scheme})")
+
+    def variants(self) -> List[str]:
+        """Variant names in first-seen order."""
+        seen: List[str] = []
+        for cell in self.cells:
+            if cell.variant not in seen:
+                seen.append(cell.variant)
+        return seen
+
+    def render(self) -> str:
+        """The aggregated sweep as a text table."""
+        table = TextTable(
+            ["variant", "scheme", "seeds", "converged",
+             "time to target (mean±std)", "final loss (mean)"],
+            title="Sweep results",
+        )
+        for cell in self.cells:
+            mean_time = cell.mean_time_to_target
+            std_time = cell.std_time_to_target
+            if mean_time is None:
+                time_text = "never"
+            elif std_time is None:
+                time_text = f"{mean_time:.0f}s"
+            else:
+                time_text = f"{mean_time:.0f}s ± {std_time:.0f}s"
+            table.add_row(
+                [
+                    cell.variant,
+                    cell.scheme,
+                    len(cell.seeds),
+                    f"{cell.converged_fraction:.0%}",
+                    time_text,
+                    f"{float(np.mean(cell.final_losses)):.4f}",
+                ]
+            )
+        return table.render()
+
+
+def run_sweep(
+    variants: Dict[str, Workload],
+    schemes: Dict[str, Callable[[], SyncPolicy]],
+    cluster: ClusterSpec,
+    seeds: Sequence[int] = (1, 2, 3),
+    early_stop: bool = True,
+    on_result: Optional[Callable[[str, str, int, RunResult], None]] = None,
+) -> SweepResult:
+    """Run the full grid; aggregate each (variant, scheme) across seeds."""
+    if not variants or not schemes or not seeds:
+        raise ValueError("variants, schemes, and seeds must be non-empty")
+    sweep = SweepResult()
+    for variant_name, workload in variants.items():
+        for scheme_name, factory in schemes.items():
+            times: List[Optional[float]] = []
+            losses: List[float] = []
+            staleness: List[float] = []
+            for seed in seeds:
+                result = workload.run(
+                    cluster, factory(), seed=seed, early_stop=early_stop
+                )
+                times.append(result.time_to_convergence(workload.convergence))
+                losses.append(result.final_loss)
+                staleness.append(result.mean_staleness)
+                if on_result is not None:
+                    on_result(variant_name, scheme_name, seed, result)
+            sweep.cells.append(
+                SweepCell(
+                    variant=variant_name,
+                    scheme=scheme_name,
+                    seeds=tuple(seeds),
+                    times_to_target=tuple(times),
+                    final_losses=tuple(losses),
+                    mean_staleness=tuple(staleness),
+                )
+            )
+    return sweep
+
+
+def speedup_summary(
+    sweep: SweepResult, baseline_scheme: str, variant: str
+) -> Dict[str, Optional[float]]:
+    """Mean-time speedups of every scheme over a baseline, for one variant."""
+    baseline = sweep.cell(variant, baseline_scheme).mean_time_to_target
+    summary: Dict[str, Optional[float]] = {}
+    for cell in sweep.cells:
+        if cell.variant != variant:
+            continue
+        mine = cell.mean_time_to_target
+        summary[cell.scheme] = (
+            baseline / mine if baseline is not None and mine else None
+        )
+    return summary

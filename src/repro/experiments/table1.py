@@ -1,0 +1,84 @@
+"""Table I — workload characterization.
+
+Reports, for each workload: the paper's parameter count and dataset size
+(mirrored into the workload metadata), and the *measured* mean iteration
+time from a short ASP run, which should land on the paper's 3s / 14s / 70s
+column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.common import ExperimentScale, mean, run_scheme, scheme_catalog
+from repro.utils.tables import TextTable
+from repro.workloads.presets import PAPER_WORKLOADS
+
+__all__ = ["Table1Row", "Table1Result", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    workload: str
+    num_parameters: int
+    dataset_size: int
+    paper_iteration_time_s: float
+    measured_iteration_time_s: float
+
+
+@dataclass
+class Table1Result:
+    rows: List[Table1Row]
+
+    def render(self) -> str:
+        table = TextTable(
+            ["Workload", "# parameters", "Dataset size",
+             "Iteration time (paper)", "Iteration time (measured)"],
+            title="Table I: Workload characterization",
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row.workload,
+                    f"{row.num_parameters / 1e6:.1f} million",
+                    f"{row.dataset_size:,}",
+                    f"{row.paper_iteration_time_s:.0f}s",
+                    f"{row.measured_iteration_time_s:.1f}s",
+                ]
+            )
+        return table.render()
+
+
+def run_table1(
+    scale: ExperimentScale = ExperimentScale.FULL, seed: int = 3
+) -> Table1Result:
+    """Measure iteration times with short ASP runs on Cluster 1."""
+    num_workers = 40 if scale is ExperimentScale.FULL else 8
+    cluster = ClusterSpec.homogeneous(num_workers)
+    rows = []
+    for workload in PAPER_WORKLOADS(seed):
+        # ~25 iterations per worker is plenty to estimate the mean span.
+        horizon = workload.paper_iteration_time_s * 25
+        schemes = scheme_catalog(workload.name)
+        result = run_scheme(
+            workload, cluster, schemes["original"], seed=seed, horizon_s=horizon
+        )
+        measured = mean(
+            [w.mean_iteration_time for w in result.worker_stats if w.iterations > 0]
+        )
+        rows.append(
+            Table1Row(
+                workload=workload.name,
+                num_parameters=workload.paper_num_parameters,
+                dataset_size=workload.paper_dataset_size,
+                paper_iteration_time_s=workload.paper_iteration_time_s,
+                measured_iteration_time_s=measured,
+            )
+        )
+    return Table1Result(rows=rows)
+
+
+if __name__ == "__main__":
+    print(run_table1(ExperimentScale.from_env()).render())

@@ -1,0 +1,72 @@
+"""Convergence detection.
+
+The paper (Section VI-B): "Runtime is measured as the timespan from the
+beginning of training to convergence, where convergence is defined as the
+loss staying below the target value for 5 consecutive iterations."  We apply
+the same criterion to the evaluation sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.curves import LossCurve
+
+__all__ = ["ConvergenceCriterion", "ConvergenceResult", "detect_convergence"]
+
+
+@dataclass(frozen=True)
+class ConvergenceCriterion:
+    """Loss must stay below ``target_loss`` for ``consecutive`` evaluations."""
+
+    target_loss: float
+    consecutive: int = 5
+
+    def __post_init__(self):
+        if self.consecutive < 1:
+            raise ValueError(f"consecutive must be >= 1, got {self.consecutive}")
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """When convergence was reached (or that it never was)."""
+
+    converged: bool
+    time: Optional[float] = None
+    total_iterations: Optional[int] = None
+
+    def require_time(self) -> float:
+        """The convergence time; raises if the run never converged."""
+        if not self.converged or self.time is None:
+            raise ValueError("run did not converge")
+        return self.time
+
+
+def detect_convergence(
+    curve: LossCurve, criterion: ConvergenceCriterion
+) -> ConvergenceResult:
+    """Scan a loss curve for the paper's convergence point.
+
+    Convergence is stamped at the *first* of the qualifying consecutive
+    evaluations (the run was already at target then; the remaining
+    evaluations just confirm stability).
+    """
+    run_start = None
+    run_length = 0
+    for idx, point in enumerate(curve):
+        if point.loss <= criterion.target_loss:
+            if run_length == 0:
+                run_start = idx
+            run_length += 1
+            if run_length >= criterion.consecutive:
+                first = curve[run_start]
+                return ConvergenceResult(
+                    converged=True,
+                    time=first.time,
+                    total_iterations=first.total_iterations,
+                )
+        else:
+            run_length = 0
+            run_start = None
+    return ConvergenceResult(converged=False)

@@ -1,0 +1,118 @@
+"""Learning curves: periodic evaluations of the global model.
+
+Each :class:`EvalPoint` is one measurement of the global parameters on the
+held-out batch; a :class:`LossCurve` is the ordered sequence, which is what
+the paper's loss-versus-time (Fig. 5, 8, 10) and loss-versus-iteration
+(Fig. 9) plots show.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["EvalPoint", "LossCurve"]
+
+
+@dataclass(frozen=True)
+class EvalPoint:
+    """One evaluation of the global model."""
+
+    time: float
+    total_iterations: int  # pushes applied cluster-wide at eval time
+    loss: float
+    accuracy: Optional[float] = None
+
+
+class LossCurve:
+    """An ordered sequence of evaluations with interpolation queries."""
+
+    def __init__(self):
+        self._points: List[EvalPoint] = []
+
+    def add(self, point: EvalPoint) -> None:
+        """Append one evaluation (time must be non-decreasing)."""
+        if self._points and point.time < self._points[-1].time:
+            raise ValueError("eval points must be added in time order")
+        self._points.append(point)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __getitem__(self, idx: int) -> EvalPoint:
+        return self._points[idx]
+
+    def points(self) -> List[EvalPoint]:
+        """A copy of all evaluation points, in time order."""
+        return list(self._points)
+
+    def times(self) -> List[float]:
+        """The evaluation timestamps."""
+        return [p.time for p in self._points]
+
+    def losses(self) -> List[float]:
+        """The loss values, aligned with :meth:`times`."""
+        return [p.loss for p in self._points]
+
+    def iterations(self) -> List[int]:
+        """Cluster-wide iteration counts, aligned with :meth:`times`."""
+        return [p.total_iterations for p in self._points]
+
+    @property
+    def final_loss(self) -> float:
+        if not self._points:
+            raise ValueError("empty curve")
+        return self._points[-1].loss
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def loss_at_time(self, time: float) -> float:
+        """Loss of the most recent evaluation at or before ``time``."""
+        if not self._points:
+            raise ValueError("empty curve")
+        times = [p.time for p in self._points]
+        idx = bisect.bisect_right(times, time)
+        if idx == 0:
+            return self._points[0].loss
+        return self._points[idx - 1].loss
+
+    def time_to_loss(self, target: float) -> Optional[float]:
+        """First evaluation time at which loss <= target (None if never)."""
+        for point in self._points:
+            if point.loss <= target:
+                return point.time
+        return None
+
+    def iterations_to_loss(self, target: float) -> Optional[int]:
+        """Cluster-wide iteration count when loss first reaches ``target``."""
+        for point in self._points:
+            if point.loss <= target:
+                return point.total_iterations
+        return None
+
+    def as_series(self) -> List[Tuple[float, float]]:
+        """(time, loss) pairs — the plot-ready Fig. 8-style series."""
+        return [(p.time, p.loss) for p in self._points]
+
+    def best_loss(self) -> float:
+        """Minimum loss achieved anywhere on the curve."""
+        if not self._points:
+            raise ValueError("empty curve")
+        return min(p.loss for p in self._points)
+
+    def __repr__(self) -> str:
+        if not self._points:
+            return "LossCurve(empty)"
+        return (
+            f"LossCurve({len(self._points)} points, "
+            f"t=[{self._points[0].time:.3g}, {self._points[-1].time:.3g}], "
+            f"final={self.final_loss:.4g})"
+        )

@@ -1,0 +1,129 @@
+"""Raw event traces of a training run.
+
+The recorder captures every pull, push, and abort with its virtual
+timestamp.  These are the "workload traces" the paper collects for its
+Section III empirical study, and the raw material for PAP analysis and the
+SpecSync adaptive tuner.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["PullEvent", "PushEvent", "AbortEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class PullEvent:
+    """A worker received a parameter snapshot."""
+
+    time: float
+    worker_id: int
+    version: int
+    iteration: int
+    is_restart: bool  # True when the pull follows an abort
+
+
+@dataclass(frozen=True)
+class PushEvent:
+    """The store applied a worker's gradient."""
+
+    time: float
+    worker_id: int
+    version_after: int
+    snapshot_version: int
+    staleness: int
+    iteration: int
+
+
+@dataclass(frozen=True)
+class AbortEvent:
+    """A worker aborted an in-flight iteration for a re-sync."""
+
+    time: float
+    worker_id: int
+    iteration: int
+    wasted_compute_s: float
+
+
+class TraceRecorder:
+    """Append-only trace store with the index structures analyses need."""
+
+    def __init__(self):
+        self.pulls: List[PullEvent] = []
+        self.pushes: List[PushEvent] = []
+        self.aborts: List[AbortEvent] = []
+        self._push_times: List[float] = []  # parallel to self.pushes
+        self._push_workers: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_pull(self, event: PullEvent) -> None:
+        """Record a delivered pull snapshot."""
+        self.pulls.append(event)
+
+    def record_push(self, event: PushEvent) -> None:
+        """Record an applied push (must arrive in time order)."""
+        if self._push_times and event.time < self._push_times[-1]:
+            raise ValueError("pushes must be recorded in time order")
+        self.pushes.append(event)
+        self._push_times.append(event.time)
+        self._push_workers.append(event.worker_id)
+
+    def record_abort(self, event: AbortEvent) -> None:
+        """Record a speculative abort."""
+        self.aborts.append(event)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def pushes_in_window(
+        self, start: float, end: float, exclude_worker: Optional[int] = None
+    ) -> int:
+        """Number of pushes applied in (start, end], optionally excluding one
+        worker's own pushes — the PAP count for that worker.
+        """
+        lo = bisect.bisect_right(self._push_times, start)
+        hi = bisect.bisect_right(self._push_times, end)
+        if exclude_worker is None:
+            return hi - lo
+        return sum(
+            1 for i in range(lo, hi) if self._push_workers[i] != exclude_worker
+        )
+
+    def push_times(self) -> List[float]:
+        """All push timestamps, in order."""
+        return list(self._push_times)
+
+    def pulls_by_worker(self) -> Dict[int, List[PullEvent]]:
+        """Pull events grouped per worker, preserving time order."""
+        grouped: Dict[int, List[PullEvent]] = {}
+        for event in self.pulls:
+            grouped.setdefault(event.worker_id, []).append(event)
+        return grouped
+
+    def pushes_by_worker(self) -> Dict[int, List[PushEvent]]:
+        """Push events grouped per worker, preserving time order."""
+        grouped: Dict[int, List[PushEvent]] = {}
+        for event in self.pushes:
+            grouped.setdefault(event.worker_id, []).append(event)
+        return grouped
+
+    def mean_staleness(self) -> float:
+        """Average missed-update count over all pushes."""
+        if not self.pushes:
+            return 0.0
+        return sum(p.staleness for p in self.pushes) / len(self.pushes)
+
+    def total_wasted_compute(self) -> float:
+        """Virtual seconds of computation discarded by aborts."""
+        return sum(a.wasted_compute_s for a in self.aborts)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecorder(pulls={len(self.pulls)}, pushes={len(self.pushes)}, "
+            f"aborts={len(self.aborts)})"
+        )

@@ -1,0 +1,38 @@
+"""Machine-learning substrate: parameters, models, datasets, optimizers.
+
+Everything here is implemented from scratch on numpy.  The models are the
+numerical engines behind the paper's three workloads (matrix factorization,
+CIFAR-10-class, ImageNet-class); gradients are always evaluated on the exact
+parameter snapshot a simulated worker pulled, so staleness effects in the
+experiments are numerically real rather than modeled.
+"""
+
+from repro.ml.params import ParamSet
+from repro.ml.models.base import Model, Batch
+from repro.ml.models.matrix_factorization import MatrixFactorizationModel
+from repro.ml.models.softmax import SoftmaxRegressionModel
+from repro.ml.models.mlp import MLPModel
+from repro.ml.models.linear import LinearRegressionModel
+from repro.ml.models.convnet import ConvNetModel
+from repro.ml.datasets.base import Dataset, Partition
+from repro.ml.datasets.ratings import SyntheticRatingsDataset
+from repro.ml.datasets.images import SyntheticImageDataset
+from repro.ml.optim import SgdUpdateRule, LearningRateSchedule, StepDecaySchedule
+
+__all__ = [
+    "ParamSet",
+    "Model",
+    "Batch",
+    "MatrixFactorizationModel",
+    "SoftmaxRegressionModel",
+    "MLPModel",
+    "LinearRegressionModel",
+    "ConvNetModel",
+    "Dataset",
+    "Partition",
+    "SyntheticRatingsDataset",
+    "SyntheticImageDataset",
+    "SgdUpdateRule",
+    "LearningRateSchedule",
+    "StepDecaySchedule",
+]

@@ -1,0 +1,7 @@
+"""Synthetic dataset generators for the paper's three workload classes."""
+
+from repro.ml.datasets.base import Dataset, Partition
+from repro.ml.datasets.ratings import SyntheticRatingsDataset
+from repro.ml.datasets.images import SyntheticImageDataset
+
+__all__ = ["Dataset", "Partition", "SyntheticRatingsDataset", "SyntheticImageDataset"]

@@ -1,0 +1,18 @@
+"""Numerical models trained by the simulated cluster."""
+
+from repro.ml.models.base import Model, Batch
+from repro.ml.models.matrix_factorization import MatrixFactorizationModel
+from repro.ml.models.softmax import SoftmaxRegressionModel
+from repro.ml.models.mlp import MLPModel
+from repro.ml.models.linear import LinearRegressionModel
+from repro.ml.models.convnet import ConvNetModel
+
+__all__ = [
+    "Model",
+    "Batch",
+    "MatrixFactorizationModel",
+    "SoftmaxRegressionModel",
+    "MLPModel",
+    "LinearRegressionModel",
+    "ConvNetModel",
+]

@@ -1,0 +1,129 @@
+"""Matrix factorization for recommendation (the paper's MF workload).
+
+The model learns user and item embeddings ``U`` (num_users × rank) and
+``V`` (num_items × rank) so that ``U[u] · V[i]`` predicts rating ``r`` —
+trained by SGD on a regularized squared error, exactly the formulation the
+MovieLens workload in the paper uses.  Gradients are sparse (only rows of
+users/items in the batch are touched) but returned as dense ParamSets to
+match the parameter-server push interface.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.ml.models.base import Model
+from repro.ml.params import ParamSet
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["MatrixFactorizationModel"]
+
+
+class MatrixFactorizationModel(Model):
+    """Biased matrix factorization: r̂ = U[u]·V[i] + bu[u] + bi[i] + mu.
+
+    A batch is a tuple ``(users, items, ratings)`` of equal-length arrays.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        rank: int = 16,
+        reg: float = 0.02,
+        init_scale: float = 0.1,
+        global_mean: float = 0.0,
+    ):
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        if rank <= 0:
+            raise ValueError(f"rank must be positive, got {rank}")
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        self.rank = int(rank)
+        self.reg = check_non_negative("reg", reg)
+        self.init_scale = check_positive("init_scale", init_scale)
+        self.global_mean = float(global_mean)
+
+    def init_params(self, rng: np.random.Generator) -> ParamSet:
+        return ParamSet(
+            {
+                "user_factors": rng.normal(
+                    0.0, self.init_scale, size=(self.num_users, self.rank)
+                ),
+                "item_factors": rng.normal(
+                    0.0, self.init_scale, size=(self.num_items, self.rank)
+                ),
+                "user_bias": np.zeros(self.num_users),
+                "item_bias": np.zeros(self.num_items),
+            }
+        )
+
+    def _predict(self, params: ParamSet, users: np.ndarray, items: np.ndarray):
+        u_vecs = params["user_factors"][users]
+        i_vecs = params["item_factors"][items]
+        dots = np.sum(u_vecs * i_vecs, axis=1)
+        return dots + params["user_bias"][users] + params["item_bias"][items] + self.global_mean
+
+    def loss(self, params: ParamSet, batch) -> float:
+        users, items, ratings = self._unpack(batch)
+        errors = self._predict(params, users, items) - ratings
+        data_loss = float(np.mean(errors**2))
+        u_vecs = params["user_factors"][users]
+        i_vecs = params["item_factors"][items]
+        reg_loss = self.reg * float(np.mean(np.sum(u_vecs**2 + i_vecs**2, axis=1)))
+        return data_loss + reg_loss
+
+    def loss_and_grad(self, params: ParamSet, batch) -> Tuple[float, ParamSet]:
+        users, items, ratings = self._unpack(batch)
+        n = len(ratings)
+        u_vecs = params["user_factors"][users]
+        i_vecs = params["item_factors"][items]
+        errors = (
+            np.sum(u_vecs * i_vecs, axis=1)
+            + params["user_bias"][users]
+            + params["item_bias"][items]
+            + self.global_mean
+            - ratings
+        )
+        data_loss = float(np.mean(errors**2))
+        reg_loss = self.reg * float(np.mean(np.sum(u_vecs**2 + i_vecs**2, axis=1)))
+
+        grad_u = np.zeros_like(params["user_factors"])
+        grad_i = np.zeros_like(params["item_factors"])
+        grad_bu = np.zeros_like(params["user_bias"])
+        grad_bi = np.zeros_like(params["item_bias"])
+
+        # d/dU[u] mean(err^2 + reg*(|U[u]|^2+|V[i]|^2))
+        #   = (2/n) * (err * V[i] + reg * U[u]) summed over batch occurrences.
+        coeff = 2.0 / n
+        per_sample_u = coeff * (errors[:, None] * i_vecs + self.reg * u_vecs)
+        per_sample_i = coeff * (errors[:, None] * u_vecs + self.reg * i_vecs)
+        np.add.at(grad_u, users, per_sample_u)
+        np.add.at(grad_i, items, per_sample_i)
+        np.add.at(grad_bu, users, coeff * errors)
+        np.add.at(grad_bi, items, coeff * errors)
+
+        grad = ParamSet(
+            {
+                "user_factors": grad_u,
+                "item_factors": grad_i,
+                "user_bias": grad_bu,
+                "item_bias": grad_bi,
+            }
+        )
+        return data_loss + reg_loss, grad
+
+    @staticmethod
+    def _unpack(batch):
+        users, items, ratings = batch
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        ratings = np.asarray(ratings, dtype=np.float64)
+        if not (len(users) == len(items) == len(ratings)):
+            raise ValueError("batch arrays must have equal length")
+        if len(ratings) == 0:
+            raise ValueError("batch must be non-empty")
+        return users, items, ratings

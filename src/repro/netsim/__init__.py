@@ -1,0 +1,21 @@
+"""Network model and data-transfer accounting.
+
+Every message in the simulated cluster flows through a :class:`Network`,
+which delays delivery by latency plus serialization time and records the
+bytes moved in a :class:`TransferLedger`.  The ledger is the data source for
+the paper's communication-overhead figures (Fig. 12 and Fig. 13).
+"""
+
+from repro.netsim.messages import Message, MessageKind, CONTROL_MESSAGE_BYTES
+from repro.netsim.network import Network, LinkModel
+from repro.netsim.ledger import TransferLedger, TransferRecord
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "CONTROL_MESSAGE_BYTES",
+    "Network",
+    "LinkModel",
+    "TransferLedger",
+    "TransferRecord",
+]

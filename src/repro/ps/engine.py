@@ -1,0 +1,517 @@
+"""The training engine: drives every worker through pull → compute → push.
+
+This is the simulated counterpart of MXNet's distributed worker runtime.
+Each worker loops:
+
+1. ask the policy whether it may start (BSP/SSP gating) and how long to
+   defer its pull (naïve waiting);
+2. pull a parameter snapshot from the servers (a real network round trip on
+   the virtual timeline);
+3. compute a gradient for one mini-batch — the computation occupies
+   ``ComputeTimeModel.sample()`` virtual seconds and can be **aborted** by a
+   policy-requested re-sync, in which case the worker re-pulls and restarts
+   (SpecSync's abort-and-refresh, paper Algorithm 2);
+4. push the gradient; the store applies it at server-side delivery time
+   using the snapshot's version for staleness accounting;
+5. notify the policy and go to 1.
+
+Gradients are evaluated numerically on the exact snapshot pulled, so every
+staleness effect in the results is real SGD arithmetic, not a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.cluster.compute import ComputeTimeModel
+from repro.cluster.spec import ClusterSpec
+from repro.events import Simulator
+from repro.metrics.convergence import ConvergenceCriterion
+from repro.metrics.curves import EvalPoint, LossCurve
+from repro.metrics.traces import AbortEvent, PullEvent, PushEvent, TraceRecorder
+from repro.ml.datasets.base import Partition
+from repro.ml.models.base import Batch, Model
+from repro.ml.optim import SgdUpdateRule
+from repro.netsim.ledger import TransferLedger
+from repro.netsim.messages import CONTROL_MESSAGE_BYTES, Message, MessageKind
+from repro.netsim.network import LinkModel, Network
+from repro.ps.policy import SyncPolicy, WorkerView
+from repro.ps.result import RunResult, WorkerStats
+from repro.ps.store import ParameterStore, PullSnapshot
+from repro.utils.rng import RngStreams
+
+__all__ = ["EngineConfig", "WorkerRuntime", "TrainingEngine"]
+
+SERVERS_NODE = "servers"
+SCHEDULER_NODE = "scheduler"
+
+
+@dataclass
+class EngineConfig:
+    """Knobs of one training run (independent of workload and scheme)."""
+
+    batch_size: int
+    horizon_s: float
+    eval_interval_s: float
+    param_wire_bytes: float
+    grad_wire_bytes: Optional[float] = None  # default: same as params
+    link: LinkModel = field(default_factory=LinkModel)
+    #: opt-in NIC congestion: serialize each node's outgoing transfers
+    #: (see Network.serialize_node_transfers); off for the calibrated
+    #: experiments.
+    serialize_node_transfers: bool = False
+    num_shards: Optional[int] = None  # default: one shard per node
+    max_aborts_per_iteration: int = 1
+    record_accuracy: bool = False
+    convergence: Optional[ConvergenceCriterion] = None  # early-stop when met
+    max_total_iterations: Optional[int] = None
+
+    def __post_init__(self):
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {self.horizon_s}")
+        if self.eval_interval_s <= 0:
+            raise ValueError(
+                f"eval_interval_s must be positive, got {self.eval_interval_s}"
+            )
+        if self.param_wire_bytes < 0:
+            raise ValueError("param_wire_bytes must be >= 0")
+        if self.max_aborts_per_iteration < 0:
+            raise ValueError("max_aborts_per_iteration must be >= 0")
+
+    @property
+    def push_wire_bytes(self) -> float:
+        return (
+            self.grad_wire_bytes
+            if self.grad_wire_bytes is not None
+            else self.param_wire_bytes
+        )
+
+
+class WorkerRuntime:
+    """Mutable per-worker state the engine drives."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        node_name: str,
+        partition: Partition,
+        compute_model: ComputeTimeModel,
+        batch_rng: np.random.Generator,
+        compute_rng: np.random.Generator,
+    ):
+        self.worker_id = worker_id
+        self.node_name = node_name
+        self.partition = partition
+        self.compute_model = compute_model
+        self.batch_rng = batch_rng
+        self.compute_rng = compute_rng
+
+        # Iteration state
+        self.iteration = 0  # index of the in-progress iteration
+        self.iteration_started_at = 0.0
+        self.snapshot: Optional[PullSnapshot] = None
+        self.batch: Optional[Batch] = None
+        self.computing = False
+        self.parked = False
+        self.compute_event = None
+        self.compute_started_at = 0.0
+        self.aborts_in_iteration = 0
+
+        # Counters
+        self.pulls = 0
+        self.pushes = 0
+        self.aborts = 0
+        self.clean_spans: List[float] = []  # spans of abort-free iterations
+        self.all_spans: List[float] = []
+
+    def mean_iteration_time(self, window: int = 20) -> Optional[float]:
+        """Recent mean iteration span, preferring abort-free iterations."""
+        spans = self.clean_spans[-window:] or self.all_spans[-window:]
+        if not spans:
+            return None
+        return sum(spans) / len(spans)
+
+    def view(self) -> WorkerView:
+        """Snapshot this worker's policy-visible state."""
+        return WorkerView(
+            worker_id=self.worker_id,
+            node_name=self.node_name,
+            iterations_completed=self.iteration,
+            computing=self.computing,
+            parked=self.parked,
+        )
+
+
+class TrainingEngine:
+    """One simulated distributed-training run."""
+
+    def __init__(
+        self,
+        model: Model,
+        partitions: List[Partition],
+        eval_batch: Batch,
+        update_rule: SgdUpdateRule,
+        policy: SyncPolicy,
+        cluster: ClusterSpec,
+        base_compute_model: ComputeTimeModel,
+        config: EngineConfig,
+        seed: int = 0,
+        workload_name: str = "workload",
+        compute_models: Optional[List[ComputeTimeModel]] = None,
+    ):
+        if len(partitions) != cluster.num_workers:
+            raise ValueError(
+                f"{len(partitions)} partitions for {cluster.num_workers} workers"
+            )
+        if compute_models is not None and len(compute_models) != cluster.num_workers:
+            raise ValueError(
+                f"{len(compute_models)} compute models for "
+                f"{cluster.num_workers} workers"
+            )
+        self.model = model
+        self.eval_batch = eval_batch
+        self.policy = policy
+        self.cluster = cluster
+        self.config = config
+        self.seed = seed
+        self.workload_name = workload_name
+
+        self.streams = RngStreams(seed)
+        self.sim = Simulator()
+        self.ledger = TransferLedger()
+        self.network = Network(
+            self.sim, link=config.link, ledger=self.ledger,
+            rng=self.streams.get("network"),
+            node_bandwidth={
+                node.name: node.instance.network_bytes_per_s
+                for node in cluster.nodes
+            },
+            serialize_node_transfers=config.serialize_node_transfers,
+        )
+        self.store = ParameterStore(
+            initial_params=model.init_params(self.streams.get("init")),
+            update_rule=update_rule,
+            num_shards=config.num_shards or cluster.num_workers,
+        )
+        self.traces = TraceRecorder()
+        self.curve = LossCurve()
+
+        self.workers: List[WorkerRuntime] = []
+        for i, node in enumerate(cluster.nodes):
+            self.workers.append(
+                WorkerRuntime(
+                    worker_id=i,
+                    node_name=node.name,
+                    partition=partitions[i],
+                    compute_model=(
+                        compute_models[i]
+                        if compute_models is not None
+                        else base_compute_model.scaled(node.speed_factor)
+                    ),
+                    batch_rng=self.streams.get("batch", i),
+                    compute_rng=self.streams.get("compute", i),
+                )
+            )
+
+        self._stopped = False
+        self._consecutive_converged = 0
+        self._accuracy_fn: Optional[Callable] = (
+            getattr(model, "accuracy", None) if config.record_accuracy else None
+        )
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    # Public surface for policies
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def store_version(self) -> int:
+        """Global pushes applied so far."""
+        return self.store.version
+
+    def worker_view(self, worker_id: int) -> WorkerView:
+        """Read-only facts about one worker (for policies)."""
+        return self.workers[worker_id].view()
+
+    def worker_node(self, worker_id: int) -> str:
+        """The cluster node name hosting a worker."""
+        return self.workers[worker_id].node_name
+
+    def mean_iteration_time(self, worker_id: int) -> Optional[float]:
+        """Recent mean iteration span for the tuner's T_i estimate."""
+        return self.workers[worker_id].mean_iteration_time()
+
+    def release_worker(self, worker_id: int) -> None:
+        """Wake a parked worker (BSP barrier open, SSP bound satisfied)."""
+        worker = self.workers[worker_id]
+        if not worker.parked:
+            return
+        worker.parked = False
+        if not self._stopped:
+            self._schedule_pull(worker)
+
+    def request_resync(self, worker_id: int, for_iteration: int) -> bool:
+        """Abort ``worker_id``'s in-flight iteration and have it re-pull.
+
+        Returns False (no abort) when the worker already moved past
+        ``for_iteration``, is not computing, or exhausted its abort budget —
+        the "too late" cases of paper Section IV-A.
+        """
+        worker = self.workers[worker_id]
+        if self._stopped or not worker.computing:
+            return False
+        if worker.iteration != for_iteration:
+            return False
+        if worker.aborts_in_iteration >= self.config.max_aborts_per_iteration:
+            return False
+
+        worker.compute_event.cancel()
+        worker.computing = False
+        wasted = self.sim.now - worker.compute_started_at
+        worker.aborts += 1
+        worker.aborts_in_iteration += 1
+        self.traces.record_abort(
+            AbortEvent(
+                time=self.sim.now,
+                worker_id=worker_id,
+                iteration=worker.iteration,
+                wasted_compute_s=wasted,
+            )
+        )
+        self.policy.on_abort(worker_id, worker.iteration)
+        self._issue_pull(worker, is_restart=True)
+        return True
+
+    def send_control(
+        self,
+        kind: MessageKind,
+        src: str,
+        dst: str,
+        payload,
+        on_delivery: Callable[[Message], None],
+    ) -> None:
+        """Send a small control message (notify / re-sync) over the network."""
+        message = Message(
+            kind=kind, src=src, dst=dst,
+            size_bytes=CONTROL_MESSAGE_BYTES, payload=payload,
+        )
+        self.network.send(message, on_delivery)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the run and return its results."""
+        for worker in self.workers:
+            self._start_next_iteration(worker)
+        self._schedule_eval()
+        self.sim.run(until=self.config.horizon_s, stop_when=lambda: self._stopped)
+        self.policy.on_run_end()
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _start_next_iteration(self, worker: WorkerRuntime) -> None:
+        if self._stopped or self._iteration_budget_exhausted():
+            return
+        worker.iteration_started_at = self.sim.now
+        worker.aborts_in_iteration = 0
+        if not self.policy.can_start_iteration(worker.worker_id):
+            worker.parked = True
+            return
+        self._schedule_pull(worker)
+
+    def _schedule_pull(self, worker: WorkerRuntime) -> None:
+        delay = self.policy.pull_delay(worker.worker_id)
+        if delay < 0:
+            raise ValueError(f"policy returned negative pull delay {delay}")
+        if delay > 0:
+            self.sim.schedule(delay, self._issue_pull, worker, False)
+        else:
+            self._issue_pull(worker, False)
+
+    def _issue_pull(self, worker: WorkerRuntime, is_restart: bool) -> None:
+        request = Message(
+            kind=MessageKind.PULL_REQUEST,
+            src=worker.node_name,
+            dst=SERVERS_NODE,
+            size_bytes=CONTROL_MESSAGE_BYTES,
+            payload=worker.worker_id,
+        )
+        self.network.send(
+            request, lambda msg: self._serve_pull(worker, is_restart)
+        )
+
+    def _serve_pull(self, worker: WorkerRuntime, is_restart: bool) -> None:
+        snapshot = self.store.snapshot(self.sim.now)
+        response = Message(
+            kind=MessageKind.PULL_RESPONSE,
+            src=SERVERS_NODE,
+            dst=worker.node_name,
+            size_bytes=self.config.param_wire_bytes,
+            payload=snapshot,
+            parallel_streams=self.store.num_shards,
+        )
+        self.network.send(
+            response, lambda msg: self._on_pull_response(worker, snapshot, is_restart)
+        )
+
+    def _on_pull_response(
+        self, worker: WorkerRuntime, snapshot: PullSnapshot, is_restart: bool
+    ) -> None:
+        if self._stopped:
+            return
+        worker.snapshot = snapshot
+        worker.pulls += 1
+        self.traces.record_pull(
+            PullEvent(
+                time=self.sim.now,
+                worker_id=worker.worker_id,
+                version=snapshot.version,
+                iteration=worker.iteration,
+                is_restart=is_restart,
+            )
+        )
+        self.policy.on_pull(worker.worker_id, snapshot.version)
+        if not is_restart or worker.batch is None:
+            # A restart recomputes the same training batch (Algorithm 2
+            # jumps back to the gradient step for the same batch index).
+            worker.batch = worker.partition.sample_batch(
+                worker.batch_rng, self.config.batch_size
+            )
+        duration = worker.compute_model.sample_at(worker.compute_rng, self.sim.now)
+        worker.computing = True
+        worker.compute_started_at = self.sim.now
+        worker.compute_event = self.sim.schedule(
+            duration, self._on_compute_done, worker
+        )
+
+    def _on_compute_done(self, worker: WorkerRuntime) -> None:
+        worker.computing = False
+        _, gradient = self.model.loss_and_grad(worker.snapshot.params, worker.batch)
+        push = Message(
+            kind=MessageKind.PUSH,
+            src=worker.node_name,
+            dst=SERVERS_NODE,
+            size_bytes=self.config.push_wire_bytes,
+            payload=(gradient, worker.snapshot.version),
+            parallel_streams=self.store.num_shards,
+        )
+        self.network.send(push, lambda msg: self._apply_push(worker, msg))
+
+    def _apply_push(self, worker: WorkerRuntime, message: Message) -> None:
+        gradient, snapshot_version = message.payload
+        record = self.store.apply_push(
+            worker.worker_id, gradient, snapshot_version, self.sim.now
+        )
+        self.traces.record_push(
+            PushEvent(
+                time=self.sim.now,
+                worker_id=worker.worker_id,
+                version_after=record.version_after,
+                snapshot_version=record.snapshot_version,
+                staleness=record.staleness,
+                iteration=worker.iteration,
+            )
+        )
+        self.policy.on_push_applied(record)
+        ack = Message(
+            kind=MessageKind.PUSH_ACK,
+            src=SERVERS_NODE,
+            dst=worker.node_name,
+            size_bytes=CONTROL_MESSAGE_BYTES,
+        )
+        self.network.send(ack, lambda msg: self._on_push_acked(worker))
+
+    def _on_push_acked(self, worker: WorkerRuntime) -> None:
+        span = self.sim.now - worker.iteration_started_at
+        worker.all_spans.append(span)
+        if worker.aborts_in_iteration == 0:
+            worker.clean_spans.append(span)
+        worker.pushes += 1
+        worker.iteration += 1
+        worker.batch = None
+        self.policy.on_iteration_complete(worker.worker_id, worker.iteration)
+        self._start_next_iteration(worker)
+
+    def _iteration_budget_exhausted(self) -> bool:
+        limit = self.config.max_total_iterations
+        return limit is not None and self.store.version >= limit
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _schedule_eval(self) -> None:
+        self.sim.schedule(self.config.eval_interval_s, self._evaluate)
+
+    def _evaluate(self) -> None:
+        loss = self.model.loss(self.store.params, self.eval_batch)
+        accuracy = None
+        if self._accuracy_fn is not None:
+            accuracy = self._accuracy_fn(self.store.params, self.eval_batch)
+        self.curve.add(
+            EvalPoint(
+                time=self.sim.now,
+                total_iterations=self.store.version,
+                loss=loss,
+                accuracy=accuracy,
+            )
+        )
+        if self._check_early_stop(loss):
+            self._stopped = True
+            return
+        if self.sim.now < self.config.horizon_s:
+            self._schedule_eval()
+
+    def _check_early_stop(self, loss: float) -> bool:
+        criterion = self.config.convergence
+        if criterion is None:
+            return False
+        if loss <= criterion.target_loss:
+            self._consecutive_converged += 1
+        else:
+            self._consecutive_converged = 0
+        return self._consecutive_converged >= criterion.consecutive
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def _build_result(self) -> RunResult:
+        stats = [
+            WorkerStats(
+                worker_id=w.worker_id,
+                node_name=w.node_name,
+                iterations=w.iteration,
+                pulls=w.pulls,
+                pushes=w.pushes,
+                aborts=w.aborts,
+                mean_iteration_time=w.mean_iteration_time() or 0.0,
+            )
+            for w in self.workers
+        ]
+        return RunResult(
+            scheme=self.policy.name,
+            workload=self.workload_name,
+            num_workers=self.num_workers,
+            seed=self.seed,
+            horizon_s=self.config.horizon_s,
+            curve=self.curve,
+            traces=self.traces,
+            ledger=self.ledger,
+            worker_stats=stats,
+            policy_summary=self.policy.summary(),
+        )

@@ -1,0 +1,127 @@
+"""An MXNet-flavoured KVStore façade over the parameter store.
+
+The paper implements SpecSync as a pluggable module against MXNet's
+KVStore (init / push / pull per key).  This façade exposes that exact
+surface on top of :class:`repro.ps.store.ParameterStore`, so code written
+against the MXNet idiom ports directly::
+
+    kv = KVStore.create("dist_async", update_rule)
+    kv.init("weight", np.zeros((10, 4)))
+    kv.push("weight", grad_array)
+    fresh = kv.pull("weight")
+
+Per-key pushes are applied atomically in arrival order, matching MXNet's
+semantics; ``version`` counts whole-model updates for staleness math when
+every push covers all keys (the engine's usage), and per-key versions are
+tracked for partial-push users.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ml.optim import SgdUpdateRule
+from repro.ml.params import ParamSet
+from repro.utils.validation import check_in
+
+__all__ = ["KVStore"]
+
+_SUPPORTED_MODES = ("local", "dist_sync", "dist_async")
+
+
+class KVStore:
+    """Key-value parameter storage with MXNet-style init/push/pull."""
+
+    def __init__(self, mode: str, update_rule: SgdUpdateRule):
+        self.mode = check_in("mode", mode, _SUPPORTED_MODES)
+        self._update_rule = update_rule
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._key_versions: Dict[str, int] = {}
+        self._total_pushes = 0
+
+    @classmethod
+    def create(cls, mode: str = "dist_async",
+               update_rule: Optional[SgdUpdateRule] = None) -> "KVStore":
+        """MXNet-style constructor (``kvstore.create("dist_async")``)."""
+        from repro.ml.optim import ConstantSchedule
+
+        return cls(mode, update_rule or SgdUpdateRule(ConstantSchedule(0.1)))
+
+    # ------------------------------------------------------------------
+    # MXNet surface
+    # ------------------------------------------------------------------
+    def init(self, key: str, value: np.ndarray) -> None:
+        """Register a key with its initial value.  Re-init is an error."""
+        if key in self._arrays:
+            raise KeyError(f"key {key!r} already initialized")
+        self._arrays[key] = np.array(value, dtype=np.float64)
+        self._key_versions[key] = 0
+
+    def push(self, key: str, gradient: np.ndarray) -> int:
+        """Apply one gradient to ``key``; returns the key's new version.
+
+        The shared update rule's schedule advances once per push, like a
+        server-side updater in MXNet.
+        """
+        array = self._require(key)
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if gradient.shape != array.shape:
+            raise ValueError(
+                f"gradient shape {gradient.shape} does not match "
+                f"{key!r} shape {array.shape}"
+            )
+        # Route through the update rule on a single-key ParamSet so
+        # schedules/clipping behave exactly as in the engine.
+        params = ParamSet({key: array})
+        self._update_rule.apply(params, ParamSet({key: gradient}))
+        self._arrays[key] = params[key]
+        self._key_versions[key] += 1
+        self._total_pushes += 1
+        return self._key_versions[key]
+
+    def pull(self, key: str) -> np.ndarray:
+        """A copy of the key's current value."""
+        return self._require(key).copy()
+
+    def row_sparse_pull(self, key: str, row_ids: np.ndarray) -> np.ndarray:
+        """Pull only selected rows (MXNet's row_sparse_pull) — the access
+        pattern sparse embedding models use."""
+        array = self._require(key)
+        if array.ndim < 1:
+            raise ValueError(f"key {key!r} is scalar; no rows to pull")
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        return array[row_ids].copy()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def keys(self) -> List[str]:
+        return list(self._arrays)
+
+    def version(self, key: str) -> int:
+        """Number of pushes applied to ``key``."""
+        self._require(key)
+        return self._key_versions[key]
+
+    @property
+    def total_pushes(self) -> int:
+        return self._total_pushes
+
+    def as_paramset(self) -> ParamSet:
+        """Snapshot of all keys as a :class:`ParamSet` (deep copy)."""
+        return ParamSet({k: v.copy() for k, v in self._arrays.items()})
+
+    def _require(self, key: str) -> np.ndarray:
+        if key not in self._arrays:
+            known = ", ".join(sorted(self._arrays)) or "(none)"
+            raise KeyError(f"key {key!r} not initialized; known keys: {known}")
+        return self._arrays[key]
+
+    def __repr__(self) -> str:
+        return (
+            f"KVStore(mode={self.mode!r}, keys={len(self._arrays)}, "
+            f"pushes={self._total_pushes})"
+        )

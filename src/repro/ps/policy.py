@@ -1,0 +1,95 @@
+"""The synchronization-policy interface.
+
+A :class:`SyncPolicy` decides *when* workers may pull and whether in-flight
+iterations should be aborted; the engine owns everything else (timing,
+transfers, gradients).  ASP/BSP/SSP/naïve-waiting live in ``repro.sync``;
+SpecSync lives in ``repro.core``.  Policies interact with the engine through
+a narrow surface:
+
+* hooks the engine calls (``on_pull``, ``on_push_applied``, …), and
+* actions the policy may invoke back (``engine.release_worker``,
+  ``engine.request_resync``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.ps.engine import TrainingEngine
+    from repro.ps.store import PushRecord
+
+__all__ = ["WorkerView", "SyncPolicy"]
+
+
+@dataclass(frozen=True)
+class WorkerView:
+    """Read-only facts about one worker that policies may inspect."""
+
+    worker_id: int
+    node_name: str
+    iterations_completed: int
+    computing: bool
+    parked: bool
+
+
+class SyncPolicy(abc.ABC):
+    """Base class for synchronization schemes.
+
+    The default implementation is exactly ASP: never delay, never gate,
+    never abort.  Subclasses override the hooks they need.
+    """
+
+    def __init__(self):
+        self.engine: "TrainingEngine" = None
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Scheme name used in reports (e.g. ``"asp"``, ``"specsync-adaptive"``)."""
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, engine: "TrainingEngine") -> None:
+        """Called once before the run starts; policies keep the reference."""
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    # Hooks (called by the engine)
+    # ------------------------------------------------------------------
+    def pull_delay(self, worker_id: int) -> float:
+        """Extra virtual seconds to wait before issuing a pull (naïve waiting)."""
+        return 0.0
+
+    def can_start_iteration(self, worker_id: int) -> bool:
+        """Gate the next iteration (BSP barrier / SSP staleness bound).
+
+        Returning False parks the worker; the policy must eventually call
+        ``engine.release_worker(worker_id)`` to wake it.
+        """
+        return True
+
+    def on_pull(self, worker_id: int, snapshot_version: int) -> None:
+        """A worker received a pull response and is about to compute."""
+
+    def on_push_applied(self, record: "PushRecord") -> None:
+        """The store applied a worker's push (called at server-side apply time)."""
+
+    def on_iteration_complete(self, worker_id: int, iteration: int) -> None:
+        """A worker fully finished an iteration (push acked)."""
+
+    def on_abort(self, worker_id: int, iteration: int) -> None:
+        """A worker aborted an iteration and will re-pull."""
+
+    def on_run_end(self) -> None:
+        """The run is over; flush any policy-side stats."""
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Policy-specific numbers for the run report (override as needed)."""
+        return {}

@@ -1,0 +1,123 @@
+"""Run results: everything a finished training run reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.convergence import (
+    ConvergenceCriterion,
+    ConvergenceResult,
+    detect_convergence,
+)
+from repro.metrics.curves import LossCurve
+from repro.metrics.traces import TraceRecorder
+from repro.netsim.ledger import TransferLedger
+
+__all__ = ["WorkerStats", "RunResult"]
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """Per-worker counters at the end of a run."""
+
+    worker_id: int
+    node_name: str
+    iterations: int
+    pulls: int
+    pushes: int
+    aborts: int
+    mean_iteration_time: float
+
+
+@dataclass
+class RunResult:
+    """The full outcome of one simulated training run."""
+
+    scheme: str
+    workload: str
+    num_workers: int
+    seed: int
+    horizon_s: float
+    curve: LossCurve
+    traces: TraceRecorder
+    ledger: TransferLedger
+    worker_stats: List[WorkerStats]
+    convergence: Optional[ConvergenceResult] = None
+    policy_summary: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_iterations(self) -> int:
+        """Cluster-wide completed iterations (== applied pushes)."""
+        return sum(w.iterations for w in self.worker_stats)
+
+    @property
+    def total_aborts(self) -> int:
+        """Cluster-wide abort count (SpecSync restarts)."""
+        return sum(w.aborts for w in self.worker_stats)
+
+    @property
+    def mean_staleness(self) -> float:
+        """Mean missed-update count over all applied pushes."""
+        return self.traces.mean_staleness()
+
+    @property
+    def final_loss(self) -> float:
+        """Loss at the last evaluation."""
+        return self.curve.final_loss
+
+    @property
+    def total_transfer_bytes(self) -> float:
+        """Total network bytes moved during the run."""
+        return self.ledger.total_bytes
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers
+    # ------------------------------------------------------------------
+    def evaluate_convergence(self, criterion: ConvergenceCriterion) -> ConvergenceResult:
+        """Apply the paper's convergence criterion and cache the result."""
+        self.convergence = detect_convergence(self.curve, criterion)
+        return self.convergence
+
+    def time_to_convergence(self, criterion: ConvergenceCriterion) -> Optional[float]:
+        """Virtual runtime to convergence, or None when the run never got there."""
+        result = detect_convergence(self.curve, criterion)
+        return result.time if result.converged else None
+
+    def speedup_over(self, baseline: "RunResult", criterion: ConvergenceCriterion) -> float:
+        """Baseline-runtime / this-runtime to the same target (paper's speedup).
+
+        Raises if either run failed to converge — a speedup against a
+        non-converged run would be meaningless.
+        """
+        mine = self.time_to_convergence(criterion)
+        theirs = baseline.time_to_convergence(criterion)
+        if mine is None:
+            raise ValueError(f"{self.scheme} did not converge; no speedup defined")
+        if theirs is None:
+            raise ValueError(f"{baseline.scheme} did not converge; no speedup defined")
+        return theirs / mine
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary used by report renderers."""
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "workers": self.num_workers,
+            "iterations": self.total_iterations,
+            "aborts": self.total_aborts,
+            "mean_staleness": round(self.mean_staleness, 3),
+            "final_loss": round(self.final_loss, 5),
+            "transfer_bytes": self.total_transfer_bytes,
+            **self.policy_summary,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.scheme} on {self.workload}, "
+            f"{self.num_workers} workers, iters={self.total_iterations}, "
+            f"final_loss={self.final_loss:.4g})"
+        )

@@ -1,0 +1,30 @@
+"""Real-time threaded backend.
+
+The discrete-event simulator is the primary substrate for experiments; this
+package runs the *same protocol* — pull / compute / push workers, a shared
+versioned store, and the SpecSync scheduler with notify / re-sync — on real
+threads with wall-clock timers.  It exists to validate that nothing in
+SpecSync depends on virtual-time conveniences: the scheduler class is
+literally the one from :mod:`repro.core.scheduler`, driven by
+``time.monotonic`` and ``threading.Timer`` instead of the event heap.
+
+Iteration times are scaled down (milliseconds instead of seconds) so a
+whole multi-iteration run finishes in well under a second of wall time.
+"""
+
+from repro.runtime.threaded import (
+    ThreadedParameterServer,
+    ThreadedRun,
+    ThreadedRunResult,
+    ThreadedWorker,
+)
+from repro.runtime.multiprocess import MultiprocessRun, MultiprocessRunResult
+
+__all__ = [
+    "ThreadedParameterServer",
+    "ThreadedRun",
+    "ThreadedRunResult",
+    "ThreadedWorker",
+    "MultiprocessRun",
+    "MultiprocessRunResult",
+]

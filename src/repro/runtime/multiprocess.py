@@ -1,0 +1,279 @@
+"""Multi-process backend: real OS processes, queues, and a server process.
+
+The strongest form of protocol validation this package offers: workers are
+``multiprocessing`` processes with no shared memory, the parameter server
+is its own process owning the model, and every pull/push/notify crosses a
+real OS pipe.  The SpecSync scheduler runs in the parent (exactly the
+centralized architecture of paper Fig. 7) and signals aborts through
+per-worker ``multiprocessing.Event`` objects — the worker's interruptible
+compute wait is the abort point, as in the threaded backend.
+
+Scaled-down timing (milliseconds per virtual second) keeps a full run under
+a couple of wall seconds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.compute import ComputeTimeModel
+from repro.core.tuning import HyperparamTuner
+from repro.ml.datasets.base import Partition
+from repro.ml.models.base import Model
+from repro.ml.optim import SgdUpdateRule
+from repro.utils.rng import RngStreams
+
+__all__ = ["MultiprocessRun", "MultiprocessRunResult"]
+
+_POLL_S = 0.02
+
+
+# ----------------------------------------------------------------------
+# Server process
+# ----------------------------------------------------------------------
+def _server_main(initial_params, update_rule, request_queue, response_queues,
+                 stats_reply_queue, server_stop):  # pragma: no cover - separate process
+    params = initial_params.copy()
+    version = 0
+    staleness_sum = 0
+    staleness_count = 0
+    while not server_stop.is_set():
+        try:
+            message = request_queue.get(timeout=_POLL_S)
+        except queue_module.Empty:
+            continue
+        kind = message[0]
+        if kind == "pull":
+            _, worker_id = message
+            response_queues[worker_id].put(("params", params.copy(), version))
+        elif kind == "push":
+            _, worker_id, gradient, snapshot_version = message
+            staleness_sum += version - snapshot_version
+            staleness_count += 1
+            update_rule.apply(params, gradient)
+            version += 1
+            response_queues[worker_id].put(("ack", version))
+        elif kind == "stats":
+            mean = staleness_sum / staleness_count if staleness_count else 0.0
+            stats_reply_queue.put(("stats", version, mean, params.copy()))
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown server message {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(worker_id, model, partition, compute_model, batch_size,
+                 time_scale, seed, request_queue, response_queue,
+                 notify_queue, abort_event, stop_event, stats_queue,
+                 max_aborts_per_iteration):  # pragma: no cover - separate process
+    streams = RngStreams(seed)
+    batch_rng = streams.get("batch", worker_id)
+    compute_rng = streams.get("compute", worker_id)
+    iterations = 0
+    aborts = 0
+
+    def pull():
+        request_queue.put(("pull", worker_id))
+        while True:
+            try:
+                kind, params, version = response_queue.get(timeout=_POLL_S)
+            except queue_module.Empty:
+                if stop_event.is_set():
+                    return None, None
+                continue
+            assert kind == "params"
+            return params, version
+
+    while not stop_event.is_set():
+        batch = partition.sample_batch(batch_rng, batch_size)
+        snapshot, version = pull()
+        if snapshot is None:
+            break
+        aborts_left = max_aborts_per_iteration
+        while True:
+            duration = compute_model.sample(compute_rng) * time_scale
+            interrupted = abort_event.wait(timeout=duration)
+            if stop_event.is_set():
+                break
+            if interrupted and aborts_left > 0:
+                abort_event.clear()
+                snapshot, version = pull()
+                if snapshot is None:
+                    break
+                aborts += 1
+                aborts_left -= 1
+                continue
+            abort_event.clear()
+            break
+        if stop_event.is_set() or snapshot is None:
+            break
+        _, gradient = model.loss_and_grad(snapshot, batch)
+        request_queue.put(("push", worker_id, gradient, version))
+        while True:
+            try:
+                kind, _version = response_queue.get(timeout=_POLL_S)
+            except queue_module.Empty:
+                if stop_event.is_set():
+                    break
+                continue
+            assert kind == "ack"
+            break
+        iterations += 1
+        notify_queue.put((worker_id, iterations))
+    stats_queue.put((worker_id, iterations, aborts))
+
+
+@dataclass
+class MultiprocessRunResult:
+    """Counters collected from the process fleet."""
+
+    total_iterations: int
+    total_aborts: int
+    mean_staleness: float
+    final_loss: float
+    resyncs_sent: int
+    epochs_tuned: int
+    wall_time_s: float
+    per_worker_iterations: Dict[int, int]
+
+
+class MultiprocessRun:
+    """Wire up and run a multi-process cluster for a wall-clock duration."""
+
+    def __init__(
+        self,
+        model: Model,
+        partitions: List[Partition],
+        eval_batch,
+        update_rule: SgdUpdateRule,
+        compute_model: ComputeTimeModel,
+        batch_size: int = 32,
+        time_scale: float = 0.005,
+        tuner: Optional[HyperparamTuner] = None,
+        seed: int = 0,
+        max_aborts_per_iteration: int = 1,
+    ):
+        if not partitions:
+            raise ValueError("need at least one partition/worker")
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        self.model = model
+        self.partitions = partitions
+        self.eval_batch = eval_batch
+        self.update_rule = update_rule
+        self.compute_model = compute_model
+        self.batch_size = batch_size
+        self.time_scale = time_scale
+        self.tuner = tuner
+        self.seed = seed
+        self.max_aborts_per_iteration = max_aborts_per_iteration
+
+    def run(self, duration_s: float = 1.0) -> MultiprocessRunResult:
+        """Spawn server + workers, run for ``duration_s`` wall seconds."""
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        ctx = mp.get_context("fork")
+        num_workers = len(self.partitions)
+
+        request_queue = ctx.Queue()
+        response_queues = [ctx.Queue() for _ in range(num_workers)]
+        notify_queue = ctx.Queue()
+        stats_queue = ctx.Queue()
+        stop_event = ctx.Event()
+        abort_events = [ctx.Event() for _ in range(num_workers)]
+
+        streams = RngStreams(self.seed)
+        initial_params = self.model.init_params(streams.get("init"))
+
+        stats_reply_queue = ctx.Queue()
+        server_stop = ctx.Event()
+        server = ctx.Process(
+            target=_server_main,
+            args=(initial_params, self.update_rule, request_queue,
+                  response_queues, stats_reply_queue, server_stop),
+            daemon=True,
+        )
+        workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(i, self.model, self.partitions[i], self.compute_model,
+                      self.batch_size, self.time_scale, self.seed,
+                      request_queue, response_queues[i], notify_queue,
+                      abort_events[i], stop_event, stats_queue,
+                      self.max_aborts_per_iteration),
+                daemon=True,
+            )
+            for i in range(num_workers)
+        ]
+
+        # The scheduler runs in the parent on wall-clock timers, exactly
+        # like the threaded backend (same SpecSyncScheduler class).
+        scheduler = None
+        if self.tuner is not None:
+            from repro.runtime.threaded import _ThreadSafeScheduler
+
+            scheduler = _ThreadSafeScheduler(
+                num_workers=num_workers,
+                tuner=self.tuner,
+                send_resync=lambda worker_id, _it: abort_events[worker_id].set(),
+            )
+
+        started = time.monotonic()
+        server.start()
+        for worker in workers:
+            worker.start()
+
+        # Drain notify messages into the scheduler until the clock runs out.
+        deadline = started + duration_s
+        while time.monotonic() < deadline:
+            try:
+                worker_id, iteration = notify_queue.get(
+                    timeout=min(_POLL_S, max(deadline - time.monotonic(), 1e-4))
+                )
+            except queue_module.Empty:
+                continue
+            if scheduler is not None:
+                scheduler.handle_notify(worker_id, iteration)
+
+        stop_event.set()
+        for event in abort_events:
+            event.set()  # release in-flight waits
+
+        per_worker: Dict[int, int] = {}
+        total_aborts = 0
+        for _ in range(num_workers):
+            worker_id, iterations, aborts = stats_queue.get(timeout=10.0)
+            per_worker[worker_id] = iterations
+            total_aborts += aborts
+
+        for worker in workers:
+            worker.join(timeout=10.0)
+
+        # Final server snapshot, then shut the server down (the server keeps
+        # serving after worker stop so late pushes and this request drain).
+        request_queue.put(("stats",))
+        _, version, mean_staleness, final_params = stats_reply_queue.get(
+            timeout=10.0
+        )
+        server_stop.set()
+        server.join(timeout=10.0)
+        if scheduler is not None:
+            scheduler.close()
+        wall = time.monotonic() - started
+
+        inner = scheduler.inner if scheduler is not None else None
+        return MultiprocessRunResult(
+            total_iterations=version,
+            total_aborts=total_aborts,
+            mean_staleness=mean_staleness,
+            final_loss=self.model.loss(final_params, self.eval_batch),
+            resyncs_sent=inner.resyncs_sent if inner else 0,
+            epochs_tuned=inner.epochs_completed if inner else 0,
+            wall_time_s=wall,
+            per_worker_iterations=per_worker,
+        )

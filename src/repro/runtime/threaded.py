@@ -1,0 +1,295 @@
+"""Threaded workers + shared store + SpecSync scheduler on wall-clock time.
+
+Concurrency structure:
+
+* ``ThreadedParameterServer`` — the store under a lock (MXNet's per-key
+  atomic apply collapses to one lock here because every update touches all
+  keys).
+* ``ThreadedWorker`` — one thread per worker; "computation" is an
+  interruptible wait of the sampled duration (``Event.wait``), after which
+  the gradient is evaluated on the pulled snapshot, exactly like the DES.
+* ``SpecSyncScheduler`` from :mod:`repro.core.scheduler`, adapted with a
+  lock and ``threading.Timer`` — the identical Algorithm 1/2 logic runs on
+  real time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.compute import ComputeTimeModel
+from repro.core.scheduler import SpecSyncScheduler
+from repro.core.tuning import HyperparamTuner
+from repro.ml.datasets.base import Partition
+from repro.ml.models.base import Model
+from repro.ml.optim import SgdUpdateRule
+from repro.ml.params import ParamSet
+from repro.utils.rng import RngStreams
+
+__all__ = [
+    "ThreadedParameterServer",
+    "ThreadedWorker",
+    "ThreadedRun",
+    "ThreadedRunResult",
+]
+
+
+class ThreadedParameterServer:
+    """The global parameters behind a lock, with version stamping."""
+
+    def __init__(self, initial_params: ParamSet, update_rule: SgdUpdateRule):
+        self._params = initial_params.copy()
+        self._update_rule = update_rule
+        self._lock = threading.Lock()
+        self._version = 0
+        self._staleness_log: List[int] = []
+
+    def pull(self) -> Tuple[ParamSet, int]:
+        """A consistent snapshot and its version."""
+        with self._lock:
+            return self._params.copy(), self._version
+
+    def push(self, gradient: ParamSet, snapshot_version: int) -> int:
+        """Apply one gradient; returns the staleness it experienced."""
+        with self._lock:
+            staleness = self._version - snapshot_version
+            self._update_rule.apply(self._params, gradient)
+            self._version += 1
+            self._staleness_log.append(staleness)
+            return staleness
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
+
+    def mean_staleness(self) -> float:
+        """Average staleness over all applied pushes."""
+        with self._lock:
+            if not self._staleness_log:
+                return 0.0
+            return sum(self._staleness_log) / len(self._staleness_log)
+
+
+class _ThreadSafeScheduler:
+    """Lock + Timer adapter putting :class:`SpecSyncScheduler` on wall time."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        tuner: HyperparamTuner,
+        send_resync,
+    ):
+        self._lock = threading.RLock()
+        self._timers: List[threading.Timer] = []
+        self._closed = False
+        self.inner = SpecSyncScheduler(
+            num_workers=num_workers,
+            tuner=tuner,
+            schedule_fn=self._schedule,
+            now_fn=time.monotonic,
+            send_resync_fn=send_resync,
+        )
+
+    def _schedule(self, delay: float, fn) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            timer = threading.Timer(delay, self._fire, args=(fn,))
+            timer.daemon = True
+            self._timers.append(timer)
+            timer.start()
+
+    def _fire(self, fn) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            fn()
+
+    def handle_notify(self, worker_id: int, iteration: int) -> None:
+        with self._lock:
+            if not self._closed:
+                self.inner.handle_notify(worker_id, iteration)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            for timer in self._timers:
+                timer.cancel()
+
+
+class ThreadedWorker(threading.Thread):
+    """One training worker on its own thread."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        server: ThreadedParameterServer,
+        model: Model,
+        partition: Partition,
+        compute_model: ComputeTimeModel,
+        batch_size: int,
+        time_scale: float,
+        batch_rng: np.random.Generator,
+        compute_rng: np.random.Generator,
+        stop_event: threading.Event,
+        scheduler: Optional[_ThreadSafeScheduler] = None,
+        max_aborts_per_iteration: int = 1,
+    ):
+        super().__init__(name=f"worker-{worker_id}", daemon=True)
+        self.worker_id = worker_id
+        self.server = server
+        self.model = model
+        self.partition = partition
+        self.compute_model = compute_model
+        self.batch_size = batch_size
+        self.time_scale = time_scale
+        self.batch_rng = batch_rng
+        self.compute_rng = compute_rng
+        self.stop_event = stop_event
+        self.scheduler = scheduler
+        self.max_aborts_per_iteration = max_aborts_per_iteration
+
+        self.abort_event = threading.Event()
+        self.iterations = 0
+        self.aborts = 0
+
+    def request_resync(self) -> None:
+        """Called by the scheduler adapter: abort the in-flight computation."""
+        self.abort_event.set()
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration tests
+        while not self.stop_event.is_set():
+            self._one_iteration()
+
+    def _one_iteration(self) -> None:
+        batch = self.partition.sample_batch(self.batch_rng, self.batch_size)
+        snapshot, version = self.server.pull()
+        aborts_left = self.max_aborts_per_iteration
+        while True:
+            duration = self.compute_model.sample(self.compute_rng) * self.time_scale
+            interrupted = self.abort_event.wait(timeout=duration)
+            if self.stop_event.is_set():
+                return
+            if interrupted and aborts_left > 0:
+                # Re-sync: discard the wait, pull fresher parameters,
+                # restart the same batch (Algorithm 2, worker lines 5-7).
+                self.abort_event.clear()
+                snapshot, version = self.server.pull()
+                self.aborts += 1
+                aborts_left -= 1
+                continue
+            self.abort_event.clear()
+            break
+        _, gradient = self.model.loss_and_grad(snapshot, batch)
+        self.server.push(gradient, version)
+        self.iterations += 1
+        if self.scheduler is not None:
+            self.scheduler.handle_notify(self.worker_id, self.iterations)
+
+
+@dataclass
+class ThreadedRunResult:
+    """Counters from one threaded run."""
+
+    total_iterations: int
+    total_aborts: int
+    mean_staleness: float
+    final_loss: float
+    resyncs_sent: int
+    epochs_tuned: int
+    wall_time_s: float
+
+
+class ThreadedRun:
+    """Wire up and run a threaded cluster for a wall-clock duration."""
+
+    def __init__(
+        self,
+        model: Model,
+        partitions: List[Partition],
+        eval_batch,
+        update_rule: SgdUpdateRule,
+        compute_model: ComputeTimeModel,
+        batch_size: int = 32,
+        time_scale: float = 0.001,  # 1 virtual second -> 1 ms wall
+        tuner: Optional[HyperparamTuner] = None,
+        seed: int = 0,
+        max_aborts_per_iteration: int = 1,
+    ):
+        if not partitions:
+            raise ValueError("need at least one partition/worker")
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        streams = RngStreams(seed)
+        self.model = model
+        self.eval_batch = eval_batch
+        self.server = ThreadedParameterServer(
+            model.init_params(streams.get("init")), update_rule
+        )
+        self.stop_event = threading.Event()
+
+        self.scheduler: Optional[_ThreadSafeScheduler] = None
+        if tuner is not None:
+            self.scheduler = _ThreadSafeScheduler(
+                num_workers=len(partitions),
+                tuner=tuner,
+                send_resync=self._send_resync,
+            )
+
+        self.workers = [
+            ThreadedWorker(
+                worker_id=i,
+                server=self.server,
+                model=model,
+                partition=partition,
+                compute_model=compute_model,
+                batch_size=batch_size,
+                time_scale=time_scale,
+                batch_rng=streams.get("batch", i),
+                compute_rng=streams.get("compute", i),
+                stop_event=self.stop_event,
+                scheduler=self.scheduler,
+                max_aborts_per_iteration=max_aborts_per_iteration,
+            )
+            for i, partition in enumerate(partitions)
+        ]
+
+    def _send_resync(self, worker_id: int, iteration: int) -> None:
+        # The threaded worker guards against late re-syncs itself (the
+        # abort flag is cleared at each iteration boundary), so the
+        # iteration tag needs no extra check here.
+        self.workers[worker_id].request_resync()
+
+    def run(self, duration_s: float = 0.5) -> ThreadedRunResult:
+        """Run all workers for ``duration_s`` wall seconds, then stop."""
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        started = time.monotonic()
+        for worker in self.workers:
+            worker.start()
+        time.sleep(duration_s)
+        self.stop_event.set()
+        for worker in self.workers:
+            worker.abort_event.set()  # release any in-flight waits
+            worker.join(timeout=5.0)
+        if self.scheduler is not None:
+            self.scheduler.close()
+        wall = time.monotonic() - started
+
+        final_params, _ = self.server.pull()
+        inner = self.scheduler.inner if self.scheduler is not None else None
+        return ThreadedRunResult(
+            total_iterations=sum(w.iterations for w in self.workers),
+            total_aborts=sum(w.aborts for w in self.workers),
+            mean_staleness=self.server.mean_staleness(),
+            final_loss=self.model.loss(final_params, self.eval_batch),
+            resyncs_sent=inner.resyncs_sent if inner else 0,
+            epochs_tuned=inner.epochs_completed if inner else 0,
+            wall_time_s=wall,
+        )

@@ -1,0 +1,17 @@
+"""Baseline synchronization schemes (paper Section II-C).
+
+* :class:`AspPolicy` — asynchronous parallel, MXNet's default ("Original").
+* :class:`BspPolicy` — bulk synchronous parallel with a per-iteration barrier.
+* :class:`SspPolicy` — stale synchronous parallel with a bounded clock gap.
+* :class:`NaiveWaitingPolicy` — Section III's fixed pull-delay strategy.
+
+SpecSync itself lives in :mod:`repro.core` (it is the paper's contribution);
+it composes with ASP and SSP via :class:`repro.core.specsync.SpecSyncPolicy`.
+"""
+
+from repro.sync.asp import AspPolicy
+from repro.sync.bsp import BspPolicy
+from repro.sync.ssp import SspPolicy
+from repro.sync.naive_wait import NaiveWaitingPolicy
+
+__all__ = ["AspPolicy", "BspPolicy", "SspPolicy", "NaiveWaitingPolicy"]

@@ -1,0 +1,21 @@
+"""Asynchronous parallel (ASP) — the paper's "Original" baseline.
+
+Workers never wait and never abort: each one pulls, computes, and pushes as
+fast as it can, maximizing update rate at the cost of stale snapshots.  The
+base :class:`SyncPolicy` already encodes exactly this, so the class only
+supplies a name.
+"""
+
+from __future__ import annotations
+
+from repro.ps.policy import SyncPolicy
+
+__all__ = ["AspPolicy"]
+
+
+class AspPolicy(SyncPolicy):
+    """Free-running asynchronous execution (MXNet's default dist_async)."""
+
+    @property
+    def name(self) -> str:
+        return "asp"

@@ -1,0 +1,50 @@
+"""Bulk synchronous parallel (BSP).
+
+Workers synchronize at the end of each iteration: nobody starts iteration
+k+1 until every worker has completed iteration k.  Fast workers idle at the
+barrier — the synchronization overhead that motivates relaxed schemes, and
+the reason BSP loses badly on heterogeneous clusters (paper Section VI-C).
+"""
+
+from __future__ import annotations
+
+from repro.ps.policy import SyncPolicy
+
+__all__ = ["BspPolicy"]
+
+
+class BspPolicy(SyncPolicy):
+    """A per-iteration barrier over all workers."""
+
+    def __init__(self):
+        super().__init__()
+        self._barrier_waits = 0
+
+    @property
+    def name(self) -> str:
+        return "bsp"
+
+    def can_start_iteration(self, worker_id: int) -> bool:
+        completed = self.engine.worker_view(worker_id).iterations_completed
+        min_completed = min(
+            self.engine.worker_view(w).iterations_completed
+            for w in range(self.engine.num_workers)
+        )
+        if completed > min_completed:
+            self._barrier_waits += 1
+            return False
+        return True
+
+    def on_iteration_complete(self, worker_id: int, iteration: int) -> None:
+        # If this completion closed the round, open the barrier for everyone
+        # parked on it.
+        views = [
+            self.engine.worker_view(w) for w in range(self.engine.num_workers)
+        ]
+        min_completed = min(v.iterations_completed for v in views)
+        for view in views:
+            if view.parked and view.iterations_completed == min_completed:
+                self.engine.release_worker(view.worker_id)
+
+    def summary(self) -> dict:
+        return {"barrier_waits": self._barrier_waits}

@@ -1,0 +1,36 @@
+"""Naïve waiting (paper Section III-B).
+
+Every pull request is deferred by a fixed delay so the snapshot includes
+pushes that would otherwise be invisible.  The paper shows a 1-second delay
+helps both benchmark workloads, a 3-second delay yields little benefit, and
+5 seconds does more harm than good (Fig. 5) — our Fig.-5 bench reproduces
+that crossover shape.  SpecSync exists because picking the "right" fixed
+delay is workload-dependent and fragile.
+"""
+
+from __future__ import annotations
+
+from repro.ps.policy import SyncPolicy
+from repro.utils.validation import check_non_negative
+
+__all__ = ["NaiveWaitingPolicy"]
+
+
+class NaiveWaitingPolicy(SyncPolicy):
+    """Defer every pull by a constant number of virtual seconds."""
+
+    def __init__(self, delay_s: float):
+        super().__init__()
+        self.delay_s = check_non_negative("delay_s", delay_s)
+        self._total_delay = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"naive-wait({self.delay_s:g}s)"
+
+    def pull_delay(self, worker_id: int) -> float:
+        self._total_delay += self.delay_s
+        return self.delay_s
+
+    def summary(self) -> dict:
+        return {"delay_s": self.delay_s, "total_delay_s": self._total_delay}

@@ -1,0 +1,56 @@
+"""Stale synchronous parallel (SSP).
+
+A worker may run ahead of the slowest worker by at most ``staleness_bound``
+iterations; beyond that it blocks until the straggler catches up.  With
+bound 0 SSP degenerates to BSP; with bound ∞ it is ASP — both relationships
+are asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.ps.policy import SyncPolicy
+from repro.utils.validation import check_non_negative
+
+__all__ = ["SspPolicy"]
+
+
+class SspPolicy(SyncPolicy):
+    """Bounded-staleness execution (paper refs [6], [10], [13])."""
+
+    def __init__(self, staleness_bound: int = 3):
+        super().__init__()
+        check_non_negative("staleness_bound", staleness_bound)
+        self.staleness_bound = int(staleness_bound)
+        self._bound_waits = 0
+
+    @property
+    def name(self) -> str:
+        return f"ssp(s={self.staleness_bound})"
+
+    def can_start_iteration(self, worker_id: int) -> bool:
+        completed = self.engine.worker_view(worker_id).iterations_completed
+        min_completed = min(
+            self.engine.worker_view(w).iterations_completed
+            for w in range(self.engine.num_workers)
+        )
+        if completed - min_completed > self.staleness_bound:
+            self._bound_waits += 1
+            return False
+        return True
+
+    def on_iteration_complete(self, worker_id: int, iteration: int) -> None:
+        # A completion can only raise min_completed, which can only unblock
+        # parked workers; re-check all of them.
+        views = [
+            self.engine.worker_view(w) for w in range(self.engine.num_workers)
+        ]
+        min_completed = min(v.iterations_completed for v in views)
+        for view in views:
+            if (
+                view.parked
+                and view.iterations_completed - min_completed <= self.staleness_bound
+            ):
+                self.engine.release_worker(view.worker_id)
+
+    def summary(self) -> dict:
+        return {"staleness_bound": self.staleness_bound, "bound_waits": self._bound_waits}

@@ -1,0 +1,26 @@
+"""Shared utilities: deterministic RNG streams, validation, table rendering.
+
+These helpers are deliberately dependency-free (numpy only) so every other
+subpackage can import them without cycles.
+"""
+
+from repro.utils.rng import RngStreams, derive_seed
+from repro.utils.tables import TextTable, format_bytes, format_duration
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in,
+)
+
+__all__ = [
+    "RngStreams",
+    "derive_seed",
+    "TextTable",
+    "format_bytes",
+    "format_duration",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in",
+]

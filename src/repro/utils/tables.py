@@ -1,0 +1,100 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables and figure
+captions report; ``TextTable`` renders them with aligned columns so the
+output is readable both in a terminal and in ``EXPERIMENTS.md`` code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["TextTable", "format_bytes", "format_duration"]
+
+
+class TextTable:
+    """An append-only table of stringifiable cells rendered with box rules.
+
+    >>> table = TextTable(["scheme", "speedup"])
+    >>> table.add_row(["ASP", "1.00x"])
+    >>> table.add_row(["SpecSync", "2.25x"])
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    scheme   | speedup
+    ---------+--------
+    ASP      | 1.00x
+    SpecSync | 2.25x
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append one row; cells are stringified with ``str``."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Return the formatted table as a single string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        rule = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(fmt(self.headers))
+        lines.append(rule)
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary-free decimal unit, like the paper.
+
+    >>> format_bytes(3.17e12)
+    '3.17 TB'
+    >>> format_bytes(2048)
+    '2.05 KB'
+    """
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(value) < 1000.0 or unit == "PB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the most natural unit.
+
+    >>> format_duration(14.0)
+    '14.0s'
+    >>> format_duration(4200)
+    '1h10m'
+    """
+    seconds = float(seconds)
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    if seconds < 3600:
+        minutes, secs = divmod(int(round(seconds)), 60)
+        return f"{minutes}m{secs:02d}s"
+    hours, rem = divmod(int(round(seconds)), 3600)
+    minutes = rem // 60
+    return f"{hours}h{minutes:02d}m"

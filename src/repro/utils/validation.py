@@ -1,0 +1,56 @@
+"""Small argument-validation helpers used across the library.
+
+Each helper raises ``ValueError`` (or ``TypeError`` for wrong types) with a
+message naming the offending argument, and returns the validated value so
+callers can validate inline::
+
+    self.bandwidth = check_positive("bandwidth", bandwidth)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+__all__ = ["check_positive", "check_non_negative", "check_probability", "check_in"]
+
+T = TypeVar("T")
+
+
+def _check_real(name: str, value: object) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if value != value:  # NaN
+        raise ValueError(f"{name} must not be NaN")
+    return float(value)
+
+
+def check_positive(name: str, value: object) -> float:
+    """Validate that ``value`` is a real number strictly greater than zero."""
+    real = _check_real(name, value)
+    if real <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return real
+
+
+def check_non_negative(name: str, value: object) -> float:
+    """Validate that ``value`` is a real number greater than or equal to zero."""
+    real = _check_real(name, value)
+    if real < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return real
+
+
+def check_probability(name: str, value: object) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    real = _check_real(name, value)
+    if not 0.0 <= real <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return real
+
+
+def check_in(name: str, value: T, allowed: Iterable[T]) -> T:
+    """Validate that ``value`` is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+    return value

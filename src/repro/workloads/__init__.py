@@ -1,0 +1,27 @@
+"""The paper's three benchmark workloads (Table I), plus test-scale variants.
+
+A :class:`Workload` bundles everything one training run needs besides the
+cluster and the synchronization scheme: the model, the dataset, the server
+update rule, the per-iteration compute-time model (calibrated to Table I's
+iteration times), and the wire sizes used for transfer accounting
+(Table I's parameter counts at float32).
+"""
+
+from repro.workloads.base import Workload, WorkloadScale
+from repro.workloads.presets import (
+    matrix_factorization_workload,
+    cifar10_workload,
+    imagenet_workload,
+    tiny_workload,
+    PAPER_WORKLOADS,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadScale",
+    "matrix_factorization_workload",
+    "cifar10_workload",
+    "imagenet_workload",
+    "tiny_workload",
+    "PAPER_WORKLOADS",
+]

@@ -1,0 +1,89 @@
+"""One parametrized invariant suite run against every scheme.
+
+Whatever the synchronization policy, a finished run must satisfy the same
+structural facts; this catches policy bugs that scheme-specific tests miss.
+"""
+
+import pytest
+
+from repro import (
+    AspPolicy,
+    BspPolicy,
+    ClusterSpec,
+    NaiveWaitingPolicy,
+    SpecSyncHyperparams,
+    SpecSyncPolicy,
+    SspPolicy,
+)
+from repro.workloads import tiny_workload
+
+SCHEMES = {
+    "asp": AspPolicy,
+    "bsp": BspPolicy,
+    "ssp0": lambda: SspPolicy(0),
+    "ssp3": lambda: SspPolicy(3),
+    "naive": lambda: NaiveWaitingPolicy(0.5),
+    "specsync-adaptive": SpecSyncPolicy.adaptive,
+    "specsync-cherrypick": lambda: SpecSyncPolicy.cherrypick(
+        SpecSyncHyperparams(0.2, 0.3)
+    ),
+    "specsync+ssp": lambda: SpecSyncPolicy.adaptive(base_policy=SspPolicy(2)),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(SCHEMES), ids=sorted(SCHEMES))
+def run_result(request):
+    workload = tiny_workload()
+    cluster = ClusterSpec.homogeneous(4)
+    return workload.run(cluster, SCHEMES[request.param](), seed=6,
+                        horizon_s=50.0)
+
+
+class TestUniversalInvariants:
+    def test_progress(self, run_result):
+        assert run_result.total_iterations > 0
+        assert all(w.iterations > 0 for w in run_result.worker_stats)
+
+    def test_version_sequence(self, run_result):
+        versions = [p.version_after for p in run_result.traces.pushes]
+        assert versions == list(range(1, len(versions) + 1))
+
+    def test_staleness_bounds(self, run_result):
+        for push in run_result.traces.pushes:
+            assert push.staleness >= 0
+            assert push.snapshot_version < push.version_after
+
+    def test_pull_push_conservation(self, run_result):
+        for stats in run_result.worker_stats:
+            assert stats.pushes <= stats.pulls
+            assert stats.pulls <= stats.pushes + stats.aborts + 1
+
+    def test_aborts_only_from_specsync(self, run_result):
+        if not run_result.scheme.startswith("specsync"):
+            assert run_result.total_aborts == 0
+
+    def test_curve_progression(self, run_result):
+        assert len(run_result.curve) > 5
+        assert run_result.final_loss < run_result.curve[0].loss
+
+    def test_ledger_consistency(self, run_result):
+        by_category = run_result.ledger.bytes_by_category()
+        assert sum(by_category.values()) == pytest.approx(
+            run_result.ledger.total_bytes
+        )
+        assert by_category.get("pull", 0) > 0
+        assert by_category.get("push", 0) > 0
+
+    def test_pull_traffic_at_least_push_traffic(self, run_result):
+        """Every iteration pulls at least once (restarts add more)."""
+        by_kind = run_result.ledger.bytes_by_kind()
+        assert by_kind["pull_response"] >= by_kind["push"] * 0.9
+
+    def test_mean_iteration_time_positive(self, run_result):
+        for stats in run_result.worker_stats:
+            assert stats.mean_iteration_time > 0
+
+    def test_summary_renders(self, run_result):
+        summary = run_result.summary()
+        assert summary["scheme"] == run_result.scheme
+        assert summary["iterations"] == run_result.total_iterations

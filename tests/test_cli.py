@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, WORKLOADS, build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "mf"
+        assert args.scheme == "adaptive"
+        assert args.workers == 40
+
+    def test_compare_schemes(self):
+        args = build_parser().parse_args(
+            ["compare", "--schemes", "original", "adaptive", "bsp"]
+        )
+        assert args.schemes == ["original", "adaptive", "bsp"]
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig8"])
+        assert args.name == "fig8"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_registry_completeness(self):
+        # Every paper table/figure has a CLI entry.
+        for name in ("table1", "table2") + tuple(
+            f"fig{i}" for i in (3, 5, 8, 9, 10, 11, 12, 13)
+        ):
+            assert name in EXPERIMENTS
+        assert set(WORKLOADS) == {"mf", "cifar10", "imagenet", "tiny"}
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mf" in out and "adaptive" in out and "fig8" in out
+
+    def test_run_tiny(self, capsys):
+        code = main(
+            ["run", "--workload", "tiny", "--workers", "3", "--seed", "1",
+             "--scheme", "original", "--horizon", "15"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "asp" in out
+
+    def test_run_writes_json_and_traces(self, tmp_path, capsys):
+        json_path = tmp_path / "run.json"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            ["run", "--workload", "tiny", "--workers", "3", "--horizon", "15",
+             "--json", str(json_path), "--traces", str(trace_path)]
+        )
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["workload"] == "tiny"
+        lines = trace_path.read_text().splitlines()
+        assert lines and json.loads(lines[0])["event"] in {"pull", "push", "abort"}
+
+    def test_run_unknown_scheme_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "tiny", "--scheme", "nope",
+                  "--workers", "2", "--horizon", "5"])
+
+    def test_compare_tiny(self, capsys):
+        code = main(
+            ["compare", "--workload", "tiny", "--workers", "3",
+             "--horizon", "20", "--schemes", "original", "adaptive",
+             "--plot"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "specsync-adaptive" in out
+        assert "= original" in out  # plot legend uses scheme keys
+
+    def test_compare_heterogeneous_cluster(self, capsys):
+        code = main(
+            ["compare", "--workload", "tiny", "--workers", "4",
+             "--heterogeneous", "--horizon", "10", "--schemes", "original"]
+        )
+        assert code == 0
+        assert "m3.xlarge" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_experiment_dispatch_uses_registry(self, capsys, monkeypatch):
+        """The experiment subcommand resolves from EXPERIMENTS and prints
+        the driver's render() output (stubbed for speed)."""
+        from repro import cli
+
+        class StubResult:
+            def render(self):
+                return "STUB-RENDERED-TABLE"
+
+        calls = {}
+
+        def stub_driver(scale, seed=3):
+            calls["scale"] = scale
+            calls["seed"] = seed
+            return StubResult()
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "table1", stub_driver)
+        code = main(["experiment", "table1", "--scale", "smoke", "--seed", "9"])
+        assert code == 0
+        assert "STUB-RENDERED-TABLE" in capsys.readouterr().out
+        assert calls["seed"] == 9
+        from repro.experiments import ExperimentScale
+
+        assert calls["scale"] is ExperimentScale.SMOKE
+
+    def test_all_registered_experiments_are_callable(self):
+        for name, driver in EXPERIMENTS.items():
+            assert callable(driver), name

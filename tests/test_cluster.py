@@ -1,0 +1,148 @@
+"""Tests for instance catalog, compute models, and cluster specs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import (
+    ClusterSpec,
+    ComputeTimeModel,
+    INSTANCE_CATALOG,
+    StragglerModel,
+    get_instance,
+)
+
+
+class TestInstanceCatalog:
+    def test_paper_types_present(self):
+        for name in ("m3.xlarge", "m3.2xlarge", "m4.xlarge", "m4.2xlarge"):
+            assert name in INSTANCE_CATALOG
+
+    def test_m4_xlarge_is_reference(self):
+        assert get_instance("m4.xlarge").speed_factor == 1.0
+
+    def test_2xlarge_faster_than_xlarge(self):
+        assert (
+            get_instance("m4.2xlarge").speed_factor
+            > get_instance("m4.xlarge").speed_factor
+        )
+        assert (
+            get_instance("m3.2xlarge").speed_factor
+            > get_instance("m3.xlarge").speed_factor
+        )
+
+    def test_m4_newer_than_m3(self):
+        assert (
+            get_instance("m4.xlarge").speed_factor
+            > get_instance("m3.xlarge").speed_factor
+        )
+
+    def test_iteration_time_scales_inverse(self):
+        fast = get_instance("m4.2xlarge")
+        assert fast.iteration_time(14.0) == pytest.approx(14.0 / fast.speed_factor)
+
+    def test_unknown_type_error_lists_known(self):
+        with pytest.raises(KeyError, match="m4.xlarge"):
+            get_instance("c5.24xlarge")
+
+
+class TestStragglerModel:
+    def test_disabled_by_default(self):
+        rng = np.random.default_rng(0)
+        model = StragglerModel()
+        assert all(model.slowdown_factor(rng) == 1.0 for _ in range(100))
+
+    def test_always_straggle(self):
+        rng = np.random.default_rng(0)
+        model = StragglerModel(probability=1.0, max_slowdown=2.0)
+        factors = [model.slowdown_factor(rng) for _ in range(100)]
+        assert all(1.0 <= f <= 3.0 for f in factors)
+        assert any(f > 1.01 for f in factors)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            StragglerModel(probability=1.5)
+
+    def test_empirical_rate(self):
+        rng = np.random.default_rng(0)
+        model = StragglerModel(probability=0.25, max_slowdown=1.0)
+        hits = sum(model.slowdown_factor(rng) > 1.0 for _ in range(4000))
+        assert 0.2 < hits / 4000 < 0.3
+
+
+class TestComputeTimeModel:
+    def test_no_jitter_is_deterministic(self):
+        rng = np.random.default_rng(0)
+        model = ComputeTimeModel(mean_time_s=3.0, jitter_sigma=0.0)
+        assert all(model.sample(rng) == 3.0 for _ in range(10))
+
+    def test_jitter_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        model = ComputeTimeModel(mean_time_s=10.0, jitter_sigma=0.3)
+        samples = [model.sample(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(10.0, rel=0.02)
+
+    def test_samples_positive(self):
+        rng = np.random.default_rng(1)
+        model = ComputeTimeModel(mean_time_s=1.0, jitter_sigma=0.5)
+        assert all(model.sample(rng) > 0 for _ in range(1000))
+
+    def test_scaled_divides_mean(self):
+        model = ComputeTimeModel(mean_time_s=14.0, jitter_sigma=0.1)
+        assert model.scaled(2.0).mean_time_s == pytest.approx(7.0)
+
+    def test_scaled_preserves_jitter_and_straggler(self):
+        straggler = StragglerModel(probability=0.1)
+        model = ComputeTimeModel(mean_time_s=1.0, jitter_sigma=0.2, straggler=straggler)
+        scaled = model.scaled(3.0)
+        assert scaled.jitter_sigma == 0.2
+        assert scaled.straggler is straggler
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeTimeModel(mean_time_s=0.0)
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    def test_scaled_sample_distribution_shifts(self, factor):
+        base = ComputeTimeModel(mean_time_s=5.0, jitter_sigma=0.0)
+        rng = np.random.default_rng(0)
+        assert base.scaled(factor).sample(rng) == pytest.approx(5.0 / factor)
+
+
+class TestClusterSpec:
+    def test_homogeneous_cluster1(self):
+        spec = ClusterSpec.homogeneous(40)
+        assert spec.num_workers == 40
+        assert not spec.is_heterogeneous
+        assert spec.speed_factors() == [1.0] * 40
+
+    def test_heterogeneous_cluster2_default_mix(self):
+        spec = ClusterSpec.heterogeneous()
+        assert spec.num_workers == 40
+        assert spec.is_heterogeneous
+        types = {n.instance.name for n in spec.nodes}
+        assert types == {"m3.xlarge", "m3.2xlarge", "m4.xlarge", "m4.2xlarge"}
+
+    def test_custom_mix(self):
+        spec = ClusterSpec.heterogeneous([("m4.xlarge", 2), ("m3.xlarge", 3)])
+        assert spec.num_workers == 5
+
+    def test_unique_node_names(self):
+        spec = ClusterSpec.heterogeneous()
+        names = [n.name for n in spec.nodes]
+        assert len(set(names)) == len(names)
+
+    def test_describe(self):
+        assert "40x m4.xlarge" in ClusterSpec.homogeneous(40).describe()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=())
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec.homogeneous(0)
+
+    def test_server_names_colocated(self):
+        spec = ClusterSpec.homogeneous(4)
+        assert len(spec.server_names) == 4

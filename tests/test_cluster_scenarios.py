@@ -1,0 +1,142 @@
+"""Tests for scripted slowdown scenarios and failure injection."""
+
+import numpy as np
+import pytest
+
+from repro import AspPolicy, ClusterSpec
+from repro.cluster.compute import ComputeTimeModel
+from repro.cluster.scenarios import (
+    ScenarioComputeModel,
+    SlowdownWindow,
+    build_scenario_models,
+)
+from repro.ps.engine import EngineConfig, TrainingEngine
+from repro.workloads import tiny_workload
+
+
+class TestSlowdownWindow:
+    def test_active_interval_half_open(self):
+        window = SlowdownWindow(start_s=10.0, end_s=20.0, factor=3.0)
+        assert not window.active_at(9.99)
+        assert window.active_at(10.0)
+        assert window.active_at(19.99)
+        assert not window.active_at(20.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            SlowdownWindow(start_s=5.0, end_s=5.0, factor=2.0)
+        with pytest.raises(ValueError):
+            SlowdownWindow(start_s=0.0, end_s=1.0, factor=0.0)
+
+
+class TestScenarioComputeModel:
+    def test_stretches_inside_window_only(self):
+        base = ComputeTimeModel(mean_time_s=2.0, jitter_sigma=0.0)
+        model = ScenarioComputeModel(
+            base, [SlowdownWindow(10.0, 20.0, factor=5.0)]
+        )
+        rng = np.random.default_rng(0)
+        assert model.sample_at(rng, 5.0) == pytest.approx(2.0)
+        assert model.sample_at(rng, 15.0) == pytest.approx(10.0)
+        assert model.sample_at(rng, 25.0) == pytest.approx(2.0)
+
+    def test_overlapping_windows_compound(self):
+        base = ComputeTimeModel(mean_time_s=1.0, jitter_sigma=0.0)
+        model = ScenarioComputeModel(
+            base,
+            [SlowdownWindow(0.0, 10.0, 2.0), SlowdownWindow(5.0, 15.0, 3.0)],
+        )
+        rng = np.random.default_rng(0)
+        assert model.sample_at(rng, 7.0) == pytest.approx(6.0)
+
+    def test_scaled_keeps_windows(self):
+        base = ComputeTimeModel(mean_time_s=4.0, jitter_sigma=0.0)
+        model = ScenarioComputeModel(base, [SlowdownWindow(0.0, 1.0, 2.0)])
+        fast = model.scaled(2.0)
+        rng = np.random.default_rng(0)
+        assert fast.sample_at(rng, 0.5) == pytest.approx(4.0)  # 4/2*2
+        assert len(fast.windows) == 1
+
+
+class TestBuildScenarioModels:
+    def test_targets_only_listed_workers(self):
+        cluster = ClusterSpec.homogeneous(4)
+        base = ComputeTimeModel(mean_time_s=1.0, jitter_sigma=0.0)
+        models = build_scenario_models(
+            cluster, base, {2: [SlowdownWindow(0.0, 100.0, 10.0)]}
+        )
+        rng = np.random.default_rng(0)
+        assert models[0].sample_at(rng, 1.0) == pytest.approx(1.0)
+        assert models[2].sample_at(rng, 1.0) == pytest.approx(10.0)
+
+    def test_unknown_worker_rejected(self):
+        cluster = ClusterSpec.homogeneous(2)
+        base = ComputeTimeModel(mean_time_s=1.0)
+        with pytest.raises(ValueError):
+            build_scenario_models(cluster, base, {5: [SlowdownWindow(0, 1, 2)]})
+
+
+class TestFailureInjectionEndToEnd:
+    def _run_with_scenario(self, events):
+        workload = tiny_workload()
+        cluster = ClusterSpec.homogeneous(4)
+        dataset = workload.dataset_factory(0)
+        rng = np.random.default_rng(0)
+        partitions = dataset.partition(4, rng)
+        models = build_scenario_models(cluster, workload.base_compute, events)
+        engine = TrainingEngine(
+            model=workload.model_factory(),
+            partitions=partitions,
+            eval_batch=dataset.eval_batch(),
+            update_rule=workload.update_rule_factory(),
+            policy=AspPolicy(),
+            cluster=cluster,
+            base_compute_model=workload.base_compute,
+            config=EngineConfig(
+                batch_size=16, horizon_s=60.0, eval_interval_s=5.0,
+                param_wire_bytes=1e5,
+            ),
+            seed=0,
+            compute_models=models,
+        )
+        return engine.run()
+
+    def test_slowed_worker_completes_fewer_iterations(self):
+        slowed = self._run_with_scenario(
+            {1: [SlowdownWindow(0.0, 60.0, factor=6.0)]}
+        )
+        iterations = {w.worker_id: w.iterations for w in slowed.worker_stats}
+        others = [iterations[i] for i in (0, 2, 3)]
+        assert iterations[1] < min(others) * 0.5
+
+    def test_transient_window_recovers(self):
+        result = self._run_with_scenario(
+            {1: [SlowdownWindow(0.0, 15.0, factor=8.0)]}
+        )
+        iterations = {w.worker_id: w.iterations for w in result.worker_stats}
+        # After the window ends, worker 1 runs at full speed again: its
+        # deficit is bounded by the window span (~15 lost 1s-iterations)
+        # plus the straddling 8x iteration.
+        assert iterations[1] >= iterations[0] - 25
+        assert iterations[1] > iterations[0] * 0.5
+
+    def test_compute_model_count_validated(self):
+        workload = tiny_workload()
+        cluster = ClusterSpec.homogeneous(3)
+        dataset = workload.dataset_factory(0)
+        partitions = dataset.partition(3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            TrainingEngine(
+                model=workload.model_factory(),
+                partitions=partitions,
+                eval_batch=dataset.eval_batch(),
+                update_rule=workload.update_rule_factory(),
+                policy=AspPolicy(),
+                cluster=cluster,
+                base_compute_model=workload.base_compute,
+                config=EngineConfig(
+                    batch_size=16, horizon_s=10.0, eval_interval_s=5.0,
+                    param_wire_bytes=1e5,
+                ),
+                compute_models=[workload.base_compute],  # wrong count
+            )

@@ -1,0 +1,57 @@
+"""Public-API surface tests: everything README documents must import."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.core.scheduler",
+            "repro.core.specsync",
+            "repro.core.tuning",
+            "repro.core.hyperparams",
+            "repro.cluster",
+            "repro.events",
+            "repro.experiments",
+            "repro.experiments.ablations",
+            "repro.metrics",
+            "repro.ml",
+            "repro.netsim",
+            "repro.ps",
+            "repro.runtime",
+            "repro.sync",
+            "repro.utils",
+            "repro.workloads",
+        ],
+    )
+    def test_submodules_import(self, module):
+        importlib.import_module(module)
+
+    def test_subpackage_all_exports_resolve(self):
+        for module_name in (
+            "repro.core", "repro.cluster", "repro.events", "repro.metrics",
+            "repro.ml", "repro.netsim", "repro.ps", "repro.sync",
+            "repro.utils", "repro.workloads", "repro.runtime",
+            "repro.experiments",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_readme_quickstart_symbols(self):
+        # The exact names the README quickstart uses.
+        from repro import AspPolicy, ClusterSpec, SpecSyncPolicy  # noqa: F401
+        from repro.workloads import matrix_factorization_workload  # noqa: F401

@@ -1,0 +1,22 @@
+"""Run the doctest examples embedded in library docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.utils.ascii_plot
+import repro.utils.rng
+import repro.utils.tables
+
+MODULES = [
+    repro.utils.rng,
+    repro.utils.tables,
+    repro.utils.ascii_plot,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

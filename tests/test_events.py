@@ -1,0 +1,198 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.events import Event, EventCanceled, SimulationError, Simulator
+
+
+class TestEventOrdering:
+    def test_orders_by_time(self):
+        a = Event(1.0, 0, lambda: None, ())
+        b = Event(2.0, 1, lambda: None, ())
+        assert a < b
+
+    def test_ties_break_by_sequence(self):
+        a = Event(1.0, 0, lambda: None, ())
+        b = Event(1.0, 1, lambda: None, ())
+        assert a < b and not b < a
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abcd":
+            sim.schedule(5.0, fired.append, name)
+        sim.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_zero_delay_fires_without_advancing_clock(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: None))
+        sim.run()
+        assert sim.now == 1.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(3.0, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, fired.append, "nested"))
+        sim.run()
+        assert fired == ["nested"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_canceled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_after_fire_raises(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(EventCanceled):
+            event.cancel()
+
+    def test_pending_property(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        assert event.pending
+        event.cancel()
+        assert not event.pending
+
+    def test_pending_count_skips_canceled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_count == 1
+        assert keep.pending
+
+
+class TestRunControl:
+    def test_until_is_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "at-2")
+        sim.schedule(2.5, fired.append, "at-2.5")
+        sim.run(until=2.0)
+        assert fired == ["at-2"]
+        assert sim.now == 2.0
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(3.0, fired.append, 3)
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == [1, 3]
+
+    def test_stop_when_predicate(self):
+        sim = Simulator()
+        fired = []
+        for t in range(1, 6):
+            sim.schedule(float(t), fired.append, t)
+        sim.run(stop_when=lambda: len(fired) >= 3)
+        assert fired == [1, 2, 3]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for t in range(1, 6):
+            sim.schedule(float(t), fired.append, t)
+        sim.run(max_events=2)
+        assert fired == [1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for t in range(3):
+            sim.schedule(float(t + 1), lambda: None)
+        sim.run()
+        assert sim.events_fired == 3
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        sim.schedule(4.0, lambda: None)
+        assert sim.peek_time() == 4.0
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_firing_order_is_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=30),
+        st.data(),
+    )
+    def test_cancellation_removes_exactly_the_canceled(self, delays, data):
+        sim = Simulator()
+        events = [sim.schedule(d, lambda d=d: fired.append(d)) for d in delays]
+        fired = []
+        to_cancel = data.draw(
+            st.sets(st.integers(min_value=0, max_value=len(events) - 1))
+        )
+        for idx in to_cancel:
+            events[idx].cancel()
+        sim.run()
+        expected = sorted(d for i, d in enumerate(delays) if i not in to_cancel)
+        assert fired == expected

@@ -1,0 +1,55 @@
+"""Smoke-run the fast example scripts end-to-end (deliverable check).
+
+Each example is executed as a subprocess exactly as a user would run it;
+only the quick ones run here (the cluster-scale studies take minutes and
+are exercised by the benchmark suite instead).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = {
+    "paper_walkthrough.py": ["SpecSync timeline", "ABORT"],
+    "threaded_backend.py": ["threads + SpecSync-Adaptive", "re-syncs"],
+    "multiprocess_backend.py": ["processes + SpecSync-Adaptive", "server process"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(FAST_EXAMPLES), ids=sorted(FAST_EXAMPLES))
+def test_example_runs_and_prints_expected_output(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example missing: {path}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for needle in FAST_EXAMPLES[script]:
+        assert needle in proc.stdout, (
+            f"{script}: expected {needle!r} in output\n{proc.stdout[-2000:]}"
+        )
+
+
+def test_all_examples_have_module_docstrings():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3, "the deliverable requires at least 3 examples"
+    for script in scripts:
+        text = script.read_text(encoding="utf-8")
+        assert text.lstrip().startswith(("#!", '"""')), script.name
+        assert '"""' in text, f"{script.name} lacks a docstring"
+        assert "Run:" in text, f"{script.name} lacks run instructions"
+
+
+def test_examples_only_use_public_api():
+    """Examples must not reach into private modules (underscore names)."""
+    import re
+
+    for script in EXAMPLES_DIR.glob("*.py"):
+        for line in script.read_text(encoding="utf-8").splitlines():
+            if re.match(r"\s*(from|import)\s+repro", line):
+                assert "._" not in line, f"{script.name}: private import {line!r}"

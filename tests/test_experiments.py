@@ -1,0 +1,98 @@
+"""Smoke tests for the experiment drivers at SMOKE scale.
+
+These check wiring and result-object structure; the full-scale,
+paper-shaped numbers are produced by the benchmark harness.
+"""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.hyperparams import SpecSyncHyperparams
+from repro.experiments import (
+    ExperimentScale,
+    grid_search_hyperparams,
+    run_fig3,
+    run_table1,
+    scheme_catalog,
+)
+from repro.experiments.cherrypick_search import default_grid
+from repro.experiments.common import CHERRYPICK_DEFAULTS
+from repro.workloads import tiny_workload
+
+SMOKE = ExperimentScale.SMOKE
+
+
+class TestSchemeCatalog:
+    def test_all_paper_schemes_present(self):
+        catalog = scheme_catalog("mf")
+        for key in ("original", "bsp", "ssp", "cherrypick", "adaptive",
+                    "adaptive+ssp"):
+            assert key in catalog
+
+    def test_factories_return_fresh_policies(self):
+        catalog = scheme_catalog("mf")
+        assert catalog["adaptive"].make() is not catalog["adaptive"].make()
+
+    def test_cherrypick_defaults_cover_paper_workloads(self):
+        for name in ("mf", "cifar10", "imagenet"):
+            assert name in CHERRYPICK_DEFAULTS
+
+    def test_unknown_workload_falls_back(self):
+        catalog = scheme_catalog("unknown-workload")
+        policy = catalog["cherrypick"].make()
+        assert policy.name == "specsync-cherrypick"
+
+
+class TestScaleFromEnv:
+    def test_default_full(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert ExperimentScale.from_env() is ExperimentScale.FULL
+
+    def test_smoke(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert ExperimentScale.from_env() is ExperimentScale.SMOKE
+
+
+class TestDrivers:
+    def test_table1_smoke(self):
+        result = run_table1(SMOKE)
+        assert len(result.rows) == 3
+        rendered = result.render()
+        assert "4.2 million" in rendered
+        # Measured iteration times should land near the paper's values.
+        for row in result.rows:
+            assert row.measured_iteration_time_s == pytest.approx(
+                row.paper_iteration_time_s, rel=0.25
+            )
+
+    def test_fig3_smoke(self):
+        result = run_fig3(SMOKE)
+        assert set(result.boxes) == {"cifar10", "mf"}
+        for boxes in result.boxes.values():
+            assert boxes  # at least one interval
+        assert "Fig. 3" in result.render()
+
+
+class TestGridSearch:
+    def test_default_grid_shape(self):
+        grid = default_grid(14.0, num_abort_times=5, num_abort_rates=10)
+        assert len(grid) == 50
+        times = {hp.abort_time_s for hp in grid}
+        assert len(times) == 5
+        assert max(times) == pytest.approx(7.0)
+
+    def test_grid_search_on_tiny(self):
+        workload = tiny_workload()
+        cluster = ClusterSpec.homogeneous(4)
+        result = grid_search_hyperparams(
+            workload, cluster, seed=0,
+            probe_horizon_s=15.0,
+            grid=[
+                SpecSyncHyperparams(0.1, 0.2),
+                SpecSyncHyperparams(0.3, 0.4),
+            ],
+        )
+        assert result.num_trials == 2
+        assert result.best in [t.hyperparams for t in result.trials]
+        assert result.total_virtual_time_s == pytest.approx(30.0)
+        assert "grid search" in result.render()

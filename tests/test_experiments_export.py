@@ -1,0 +1,97 @@
+"""Tests for CSV exporters (using synthetic result objects)."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    export_fig3_csv,
+    export_fig5_csv,
+    export_fig8_csv,
+    export_fig12_csv,
+)
+from repro.experiments.fig3_pap import Fig3Result
+from repro.experiments.fig5_naive_waiting import Fig5Result
+from repro.experiments.fig8_effectiveness import Fig8Cell, Fig8Result
+from repro.experiments.fig12_transfer import Fig12Result
+from repro.metrics.curves import EvalPoint, LossCurve
+from repro.metrics.pap import BoxStats
+
+
+def small_curve():
+    curve = LossCurve()
+    curve.add(EvalPoint(1.0, 5, 0.9))
+    curve.add(EvalPoint(2.0, 10, 0.7))
+    return curve
+
+
+def read_rows(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestFig3Export:
+    def test_rows_and_header(self, tmp_path):
+        box = BoxStats(p5=1, p25=2, median=3, p75=4, p95=5)
+        result = Fig3Result(
+            boxes={"mf": {0: box, 1: box}}, median_pap_2s={"mf": 3.0},
+            num_workers=4,
+        )
+        path = tmp_path / "fig3.csv"
+        count = export_fig3_csv(result, path)
+        rows = read_rows(path)
+        assert count == 2
+        assert rows[0][0] == "workload"
+        assert rows[1][:2] == ["mf", "0"]
+
+
+class TestFig5Export:
+    def test_curve_rows(self, tmp_path):
+        result = Fig5Result(
+            curves={"mf": {0.0: small_curve(), 1.0: small_curve()}},
+            time_to_target={"mf": {0.0: None, 1.0: 2.0}},
+            staleness={"mf": {0.0: 5.0, 1.0: 4.0}},
+            targets={"mf": 0.5},
+        )
+        path = tmp_path / "fig5.csv"
+        assert export_fig5_csv(result, path) == 4
+        rows = read_rows(path)
+        assert rows[0] == ["workload", "delay_s", "time_s", "loss"]
+        assert len(rows) == 5
+
+
+class TestFig8Export:
+    def test_skips_cells_without_results(self, tmp_path):
+        class FakeRun:
+            curve = small_curve()
+
+        cells = [
+            Fig8Cell("mf", "original", "ASP", result=FakeRun(),
+                     time_to_convergence=None),
+            Fig8Cell("mf", "adaptive", "SpecSync", result=None,
+                     time_to_convergence=None),
+        ]
+        result = Fig8Result(cells=cells, targets={"mf": 0.5})
+        path = tmp_path / "fig8.csv"
+        assert export_fig8_csv(result, path) == 2
+        rows = read_rows(path)
+        assert all(row[1] == "original" for row in rows[1:])
+
+
+class TestFig12Export:
+    def test_series_rows(self, tmp_path):
+        result = Fig12Result(
+            series={"mf": {"original": [(0.0, 0.0), (1.0, 10.0)]}},
+            total_to_convergence={"mf": {"original": 10.0, "adaptive": None}},
+            rate={"mf": {"original": 10.0, "adaptive": 10.0}},
+        )
+        path = tmp_path / "fig12.csv"
+        assert export_fig12_csv(result, path) == 2
+        rows = read_rows(path)
+        assert rows[-1] == ["mf", "original", "1.0", "10.0"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        result = Fig12Result(series={}, total_to_convergence={}, rate={})
+        path = tmp_path / "deep" / "nested" / "fig12.csv"
+        export_fig12_csv(result, path)
+        assert path.exists()

@@ -1,0 +1,86 @@
+"""Tests for the sweep utility."""
+
+import pytest
+
+from repro import AspPolicy, ClusterSpec, SpecSyncPolicy
+from repro.experiments.sweep import (
+    SweepCell,
+    SweepResult,
+    run_sweep,
+    speedup_summary,
+)
+from repro.workloads import tiny_workload
+
+
+class TestSweepCell:
+    def make(self, times=(100.0, 200.0, None)):
+        return SweepCell(
+            variant="v", scheme="s", seeds=(1, 2, 3),
+            times_to_target=times,
+            final_losses=(0.1, 0.2, 0.3),
+            mean_staleness=(1.0, 2.0, 3.0),
+        )
+
+    def test_converged_fraction(self):
+        assert self.make().converged_fraction == pytest.approx(2 / 3)
+
+    def test_mean_ignores_non_converged(self):
+        assert self.make().mean_time_to_target == pytest.approx(150.0)
+
+    def test_all_failed(self):
+        cell = self.make(times=(None, None, None))
+        assert cell.mean_time_to_target is None
+        assert cell.converged_fraction == 0.0
+
+    def test_std_requires_two_samples(self):
+        cell = self.make(times=(100.0, None, None))
+        assert cell.std_time_to_target is None
+
+
+class TestRunSweep:
+    def test_grid_runs_all_cells(self):
+        workload = tiny_workload()
+        seen = []
+        sweep = run_sweep(
+            variants={"tiny": workload.with_overrides(default_horizon_s=30.0)},
+            schemes={"asp": AspPolicy, "specsync": SpecSyncPolicy.adaptive},
+            cluster=ClusterSpec.homogeneous(3),
+            seeds=(1, 2),
+            early_stop=False,
+            on_result=lambda v, s, seed, r: seen.append((v, s, seed)),
+        )
+        assert len(sweep.cells) == 2
+        assert len(seen) == 4
+        assert sweep.cell("tiny", "asp").seeds == (1, 2)
+
+    def test_render(self):
+        workload = tiny_workload().with_overrides(default_horizon_s=20.0)
+        sweep = run_sweep(
+            variants={"tiny": workload},
+            schemes={"asp": AspPolicy},
+            cluster=ClusterSpec.homogeneous(2),
+            seeds=(1,),
+        )
+        text = sweep.render()
+        assert "tiny" in text and "asp" in text
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep({}, {"asp": AspPolicy}, ClusterSpec.homogeneous(2))
+
+    def test_missing_cell_raises(self):
+        with pytest.raises(KeyError):
+            SweepResult().cell("x", "y")
+
+
+class TestSpeedupSummary:
+    def test_speedups_relative_to_baseline(self):
+        sweep = SweepResult(cells=[
+            SweepCell("v", "base", (1,), (400.0,), (0.1,), (1.0,)),
+            SweepCell("v", "fast", (1,), (100.0,), (0.1,), (1.0,)),
+            SweepCell("v", "dead", (1,), (None,), (0.9,), (1.0,)),
+        ])
+        summary = speedup_summary(sweep, "base", "v")
+        assert summary["base"] == pytest.approx(1.0)
+        assert summary["fast"] == pytest.approx(4.0)
+        assert summary["dead"] is None

@@ -1,0 +1,107 @@
+"""Cross-scheme integration tests on a convex problem.
+
+Softmax regression is convex: whatever the synchronization scheme does to
+the *order* of updates, every scheme must end up near the same optimum.
+These tests pin that down, plus accuracy recording and throughput ordering.
+"""
+
+import pytest
+
+from repro import (
+    AspPolicy,
+    BspPolicy,
+    ClusterSpec,
+    NaiveWaitingPolicy,
+    SpecSyncPolicy,
+    SspPolicy,
+)
+from repro.workloads import tiny_workload
+
+CLUSTER = ClusterSpec.homogeneous(5)
+
+ALL_POLICIES = [
+    ("asp", AspPolicy),
+    ("bsp", BspPolicy),
+    ("ssp", lambda: SspPolicy(2)),
+    ("naive", lambda: NaiveWaitingPolicy(0.3)),
+    ("specsync", SpecSyncPolicy.adaptive),
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    workload = tiny_workload()
+    return {
+        name: workload.run(CLUSTER, factory(), seed=4, horizon_s=150.0)
+        for name, factory in ALL_POLICIES
+    }
+
+
+class TestConvexConsensus:
+    def test_all_schemes_converge_to_similar_loss(self, results):
+        finals = {name: r.final_loss for name, r in results.items()}
+        best = min(finals.values())
+        worst = max(finals.values())
+        assert worst < 0.4, f"some scheme failed to converge: {finals}"
+        assert worst - best < 0.15, f"schemes disagree on the optimum: {finals}"
+
+    def test_all_schemes_make_progress(self, results):
+        # The first eval already reflects a few updates, so the bar is a
+        # solid improvement over it, not over the raw initial loss.
+        for name, result in results.items():
+            assert result.final_loss < result.curve[0].loss * 0.65, name
+
+    def test_throughput_ordering(self, results):
+        """ASP does the most iterations; BSP the fewest (barrier waits);
+        the others land in between."""
+        iters = {name: r.total_iterations for name, r in results.items()}
+        assert iters["asp"] >= iters["ssp"] >= iters["bsp"]
+        assert iters["asp"] >= iters["naive"]
+        assert iters["asp"] >= iters["specsync"] * 0.99
+
+    def test_staleness_ordering(self, results):
+        """BSP's in-round staleness is bounded by m−1; ASP's roams higher
+        with waiting/speculation in between."""
+        staleness = {name: r.mean_staleness for name, r in results.items()}
+        assert staleness["naive"] < staleness["asp"]
+        assert staleness["specsync"] <= staleness["asp"] + 0.5
+
+
+class TestAccuracyRecording:
+    def test_accuracy_recorded_when_requested(self):
+        workload = tiny_workload()
+        result = workload.run(
+            CLUSTER, AspPolicy(), seed=0, horizon_s=40.0, record_accuracy=True
+        )
+        accuracies = [p.accuracy for p in result.curve]
+        assert all(a is not None for a in accuracies)
+        assert all(0.0 <= a <= 1.0 for a in accuracies)
+        # Softmax on separable data: accuracy should end up high.
+        assert accuracies[-1] > 0.7
+
+    def test_accuracy_absent_by_default(self):
+        workload = tiny_workload()
+        result = workload.run(CLUSTER, AspPolicy(), seed=0, horizon_s=20.0)
+        assert all(p.accuracy is None for p in result.curve)
+
+    def test_accuracy_improves_with_training(self):
+        workload = tiny_workload()
+        result = workload.run(
+            CLUSTER, AspPolicy(), seed=0, horizon_s=80.0, record_accuracy=True
+        )
+        assert result.curve[-1].accuracy > result.curve[0].accuracy
+
+
+class TestEvalCadence:
+    def test_eval_points_spaced_by_interval(self):
+        workload = tiny_workload()
+        result = workload.run(CLUSTER, AspPolicy(), seed=0, horizon_s=30.0)
+        times = result.curve.times()
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == pytest.approx(workload.eval_interval_s) for d in diffs)
+
+    def test_eval_count_matches_horizon(self):
+        workload = tiny_workload()
+        result = workload.run(CLUSTER, AspPolicy(), seed=0, horizon_s=30.0)
+        expected = int(30.0 / workload.eval_interval_s)
+        assert abs(len(result.curve) - expected) <= 1

@@ -1,0 +1,252 @@
+"""Tests for traces, PAP analysis, curves, and convergence detection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    BoxStats,
+    ConvergenceCriterion,
+    EvalPoint,
+    LossCurve,
+    PapAnalysis,
+    PullEvent,
+    PushEvent,
+    AbortEvent,
+    TraceRecorder,
+    detect_convergence,
+    pap_box_stats,
+    pap_interval_counts,
+)
+
+
+def pull(time, worker, version=0, iteration=0, restart=False):
+    return PullEvent(time=time, worker_id=worker, version=version,
+                     iteration=iteration, is_restart=restart)
+
+
+def push(time, worker, version=1, snap=0, iteration=0):
+    return PushEvent(time=time, worker_id=worker, version_after=version,
+                     snapshot_version=snap, staleness=version - 1 - snap,
+                     iteration=iteration)
+
+
+class TestTraceRecorder:
+    def test_pushes_in_window(self):
+        traces = TraceRecorder()
+        for i, t in enumerate([1.0, 2.0, 3.0, 4.0]):
+            traces.record_push(push(t, worker=i, version=i + 1))
+        assert traces.pushes_in_window(1.0, 3.0) == 2  # (1, 3] -> 2.0, 3.0
+        assert traces.pushes_in_window(0.0, 10.0) == 4
+
+    def test_pushes_in_window_excludes_worker(self):
+        traces = TraceRecorder()
+        traces.record_push(push(1.0, worker=0))
+        traces.record_push(push(2.0, worker=1, version=2))
+        assert traces.pushes_in_window(0.0, 3.0, exclude_worker=0) == 1
+
+    def test_out_of_order_push_rejected(self):
+        traces = TraceRecorder()
+        traces.record_push(push(2.0, 0))
+        with pytest.raises(ValueError):
+            traces.record_push(push(1.0, 1))
+
+    def test_grouping_by_worker(self):
+        traces = TraceRecorder()
+        traces.record_pull(pull(1.0, 0))
+        traces.record_pull(pull(2.0, 1))
+        traces.record_pull(pull(3.0, 0))
+        grouped = traces.pulls_by_worker()
+        assert [e.time for e in grouped[0]] == [1.0, 3.0]
+        assert [e.time for e in grouped[1]] == [2.0]
+
+    def test_mean_staleness(self):
+        traces = TraceRecorder()
+        assert traces.mean_staleness() == 0.0
+        traces.record_push(push(1.0, 0, version=1, snap=0))  # staleness 0
+        traces.record_push(push(2.0, 1, version=2, snap=0))  # staleness 1
+        assert traces.mean_staleness() == pytest.approx(0.5)
+
+    def test_wasted_compute(self):
+        traces = TraceRecorder()
+        traces.record_abort(AbortEvent(1.0, 0, 0, wasted_compute_s=2.5))
+        traces.record_abort(AbortEvent(2.0, 1, 0, wasted_compute_s=1.5))
+        assert traces.total_wasted_compute() == pytest.approx(4.0)
+
+
+class TestPapAnalysis:
+    def build_traces(self):
+        """Worker 0 pulls at t=0 and t=10; peers push at 0.5, 1.5, 2.5, ..."""
+        traces = TraceRecorder()
+        traces.record_pull(pull(0.0, worker=0))
+        for i, t in enumerate([0.5, 1.5, 2.5, 3.5]):
+            traces.record_push(push(t, worker=1 + (i % 3), version=i + 1))
+        traces.record_pull(pull(10.0, worker=0))
+        return traces
+
+    def test_interval_counts_basic(self):
+        counts = pap_interval_counts(self.build_traces(), interval_s=1.0,
+                                     num_intervals=4)
+        # worker 0's first pull: one peer push in each of intervals 0..3
+        assert counts[0] == [1]
+        assert counts[1] == [1]
+        assert counts[3] == [1]
+
+    def test_own_pushes_excluded(self):
+        traces = TraceRecorder()
+        traces.record_pull(pull(0.0, worker=0))
+        traces.record_push(push(0.5, worker=0))  # own push — not PAP
+        traces.record_push(push(0.7, worker=1, version=2))
+        traces.record_pull(pull(5.0, worker=0))
+        counts = pap_interval_counts(traces, 1.0, 1)
+        assert counts[0] == [1]
+
+    def test_windows_past_next_pull_dropped(self):
+        traces = TraceRecorder()
+        traces.record_pull(pull(0.0, worker=0))
+        traces.record_pull(pull(1.5, worker=0))  # next pull at 1.5
+        counts = pap_interval_counts(traces, 1.0, 3)
+        # interval 0 ([0,1)) fits; interval 1 ([1,2)) crosses 1.5 — dropped.
+        assert len(counts[0]) >= 1
+        assert counts[1] == []
+
+    def test_box_stats(self):
+        stats = BoxStats.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.median == 3.0
+        assert stats.p5 <= stats.p25 <= stats.median <= stats.p75 <= stats.p95
+
+    def test_box_stats_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxStats.from_samples([])
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            pap_interval_counts(TraceRecorder(), interval_s=0.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=5, max_size=40))
+    def test_box_stats_ordering_property(self, samples):
+        stats = BoxStats.from_samples(samples)
+        assert stats.p5 <= stats.p25 <= stats.median <= stats.p75 <= stats.p95
+
+
+class TestLossCurve:
+    def build(self, losses, dt=1.0):
+        curve = LossCurve()
+        for i, loss in enumerate(losses):
+            curve.add(EvalPoint(time=i * dt, total_iterations=i * 10, loss=loss))
+        return curve
+
+    def test_time_to_loss(self):
+        curve = self.build([3.0, 2.0, 1.0, 0.5])
+        assert curve.time_to_loss(1.0) == 2.0
+        assert curve.time_to_loss(0.1) is None
+
+    def test_iterations_to_loss(self):
+        curve = self.build([3.0, 1.0])
+        assert curve.iterations_to_loss(1.5) == 10
+
+    def test_loss_at_time_steps(self):
+        curve = self.build([3.0, 2.0, 1.0])
+        assert curve.loss_at_time(0.5) == 3.0
+        assert curve.loss_at_time(1.0) == 2.0
+        assert curve.loss_at_time(99.0) == 1.0
+
+    def test_out_of_order_rejected(self):
+        curve = LossCurve()
+        curve.add(EvalPoint(2.0, 0, 1.0))
+        with pytest.raises(ValueError):
+            curve.add(EvalPoint(1.0, 0, 1.0))
+
+    def test_best_and_final(self):
+        curve = self.build([3.0, 0.5, 1.0])
+        assert curve.best_loss() == 0.5
+        assert curve.final_loss == 1.0
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(ValueError):
+            LossCurve().final_loss
+
+
+class TestConvergence:
+    def build(self, losses):
+        curve = LossCurve()
+        for i, loss in enumerate(losses):
+            curve.add(EvalPoint(time=float(i), total_iterations=i, loss=loss))
+        return curve
+
+    def test_requires_consecutive(self):
+        curve = self.build([1.0, 0.4, 0.6, 0.4, 0.4, 0.4])
+        # one dip at idx 1 does not count with consecutive=3
+        result = detect_convergence(curve, ConvergenceCriterion(0.5, consecutive=3))
+        assert result.converged
+        assert result.time == 3.0  # first of the qualifying run
+
+    def test_never_converges(self):
+        curve = self.build([1.0, 0.9, 0.8])
+        result = detect_convergence(curve, ConvergenceCriterion(0.5, consecutive=2))
+        assert not result.converged
+        assert result.time is None
+
+    def test_exactly_at_target_counts(self):
+        curve = self.build([0.5, 0.5])
+        result = detect_convergence(curve, ConvergenceCriterion(0.5, consecutive=2))
+        assert result.converged and result.time == 0.0
+
+    def test_paper_default_five_consecutive(self):
+        losses = [1.0] + [0.4] * 4 + [0.6] + [0.4] * 5
+        curve = self.build(losses)
+        result = detect_convergence(curve, ConvergenceCriterion(0.5, consecutive=5))
+        assert result.converged
+        assert result.time == 6.0  # the run of 5 starts after the blip
+
+    def test_require_time(self):
+        curve = self.build([1.0])
+        result = detect_convergence(curve, ConvergenceCriterion(0.5, consecutive=1))
+        with pytest.raises(ValueError):
+            result.require_time()
+
+    def test_invalid_consecutive(self):
+        with pytest.raises(ValueError):
+            ConvergenceCriterion(0.5, consecutive=0)
+
+
+class TestPapWindowCounts:
+    def test_window_counts_per_pull(self):
+        traces = TraceRecorder()
+        traces.record_pull(pull(0.0, worker=0))
+        traces.record_push(push(0.4, worker=1, version=1))
+        traces.record_push(push(0.9, worker=2, version=2))
+        traces.record_pull(pull(2.0, worker=0))
+        analysis = PapAnalysis(traces, interval_s=1.0, num_intervals=2)
+        assert analysis.window_counts(1.0) == [2]
+
+    def test_windows_crossing_next_pull_skipped(self):
+        traces = TraceRecorder()
+        traces.record_pull(pull(0.0, worker=0))
+        traces.record_pull(pull(0.5, worker=0))
+        traces.record_pull(pull(5.0, worker=0))
+        analysis = PapAnalysis(traces, interval_s=1.0, num_intervals=2)
+        # first pull's 1s window crosses the next pull at 0.5 -> skipped;
+        # second pull's window [0.5, 1.5) fits.
+        assert len(analysis.window_counts(1.0)) == 1
+
+    def test_median_pap_within(self):
+        traces = TraceRecorder()
+        for k in range(4):
+            traces.record_pull(pull(float(10 * k), worker=0))
+            # two peer pushes shortly after each pull
+            traces.record_push(push(10 * k + 0.2, worker=1, version=2 * k + 1))
+            traces.record_push(push(10 * k + 0.7, worker=2, version=2 * k + 2))
+        analysis = PapAnalysis(traces, interval_s=1.0, num_intervals=2)
+        assert analysis.median_pap_within(1.0) == 2.0
+
+    def test_empty_traces_zero(self):
+        analysis = PapAnalysis(TraceRecorder(), 1.0, 2)
+        assert analysis.median_pap_within(1.0) == 0.0
+
+    def test_uniformity_ratio_single_interval(self):
+        traces = TraceRecorder()
+        traces.record_pull(pull(0.0, worker=0))
+        traces.record_push(push(0.5, worker=1))
+        traces.record_pull(pull(1.0, worker=0))
+        analysis = PapAnalysis(traces, interval_s=1.0, num_intervals=1)
+        assert analysis.uniformity_ratio() == 1.0

@@ -1,0 +1,108 @@
+"""Tests for trace/curve JSON serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro import AspPolicy, ClusterSpec, SpecSyncPolicy
+from repro.metrics.curves import EvalPoint, LossCurve
+from repro.metrics.serialize import (
+    curve_from_dict,
+    curve_to_dict,
+    run_summary_to_dict,
+    traces_from_jsonl,
+    traces_to_jsonl,
+)
+from repro.workloads import tiny_workload
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    return tiny_workload().run(
+        ClusterSpec.homogeneous(3), SpecSyncPolicy.adaptive(), seed=2,
+        horizon_s=30.0,
+    )
+
+
+class TestCurveRoundTrip:
+    def test_round_trip_preserves_points(self):
+        curve = LossCurve()
+        curve.add(EvalPoint(1.0, 10, 0.5, accuracy=0.9))
+        curve.add(EvalPoint(2.0, 20, 0.4))
+        rebuilt = curve_from_dict(curve_to_dict(curve))
+        assert len(rebuilt) == 2
+        assert rebuilt[0].loss == 0.5
+        assert rebuilt[0].accuracy == 0.9
+        assert rebuilt[1].accuracy is None
+
+    def test_dict_is_json_serializable(self):
+        curve = LossCurve()
+        curve.add(EvalPoint(1.0, 10, 0.5))
+        json.dumps(curve_to_dict(curve))
+
+    def test_real_run_curve_round_trips(self, run_result):
+        rebuilt = curve_from_dict(curve_to_dict(run_result.curve))
+        assert rebuilt.losses() == run_result.curve.losses()
+        assert rebuilt.times() == run_result.curve.times()
+
+
+class TestTracesRoundTrip:
+    def test_round_trip_preserves_all_events(self, run_result):
+        buffer = io.StringIO()
+        count = traces_to_jsonl(run_result.traces, buffer)
+        assert count == (
+            len(run_result.traces.pulls)
+            + len(run_result.traces.pushes)
+            + len(run_result.traces.aborts)
+        )
+        buffer.seek(0)
+        rebuilt = traces_from_jsonl(buffer)
+        assert len(rebuilt.pulls) == len(run_result.traces.pulls)
+        assert len(rebuilt.pushes) == len(run_result.traces.pushes)
+        assert len(rebuilt.aborts) == len(run_result.traces.aborts)
+        assert rebuilt.mean_staleness() == run_result.traces.mean_staleness()
+
+    def test_lines_are_time_ordered(self, run_result):
+        buffer = io.StringIO()
+        traces_to_jsonl(run_result.traces, buffer)
+        times = [json.loads(l)["time"] for l in buffer.getvalue().splitlines()]
+        assert times == sorted(times)
+
+    def test_blank_lines_skipped(self):
+        rebuilt = traces_from_jsonl(["", "  ", ""])
+        assert len(rebuilt.pushes) == 0
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError):
+            traces_from_jsonl([json.dumps({"event": "mystery"})])
+
+    def test_pap_analysis_survives_round_trip(self, run_result):
+        from repro.metrics.pap import pap_interval_counts
+
+        buffer = io.StringIO()
+        traces_to_jsonl(run_result.traces, buffer)
+        buffer.seek(0)
+        rebuilt = traces_from_jsonl(buffer)
+        original = pap_interval_counts(run_result.traces, 0.5, 2)
+        recovered = pap_interval_counts(rebuilt, 0.5, 2)
+        assert original == recovered
+
+
+class TestRunSummary:
+    def test_summary_json_serializable(self, run_result):
+        payload = run_summary_to_dict(run_result)
+        json.dumps(payload)
+
+    def test_summary_fields(self, run_result):
+        payload = run_summary_to_dict(run_result)
+        assert payload["scheme"] == "specsync-adaptive"
+        assert payload["workload"] == "tiny"
+        assert payload["total_iterations"] == run_result.total_iterations
+        assert len(payload["workers"]) == 3
+        assert payload["curve"]["points"]
+
+    def test_policy_summary_filtered_to_scalars(self, run_result):
+        payload = run_summary_to_dict(run_result)
+        for value in payload["policy_summary"].values():
+            assert isinstance(value, (int, float, str, bool, type(None)))

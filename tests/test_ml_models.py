@@ -1,0 +1,228 @@
+"""Tests for the numerical models: gradient correctness and training sanity."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    LinearRegressionModel,
+    MatrixFactorizationModel,
+    MLPModel,
+    SoftmaxRegressionModel,
+)
+from repro.ml.models.softmax import cross_entropy, softmax
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+def classification_batch(n=40, dim=6, classes=3, seed=0):
+    r = np.random.default_rng(seed)
+    X = r.normal(size=(n, dim))
+    y = r.integers(0, classes, size=n)
+    return X, y
+
+
+class TestSoftmaxHelpers:
+    def test_softmax_rows_sum_to_one(self):
+        probs = softmax(rng().normal(size=(7, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(7))
+
+    def test_softmax_stability_large_logits(self):
+        probs = softmax(np.array([[1000.0, 0.0], [0.0, 1000.0]]))
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_cross_entropy_perfect_prediction(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cross_entropy(probs, np.array([0, 1])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cross_entropy_uniform(self):
+        probs = np.full((5, 4), 0.25)
+        assert cross_entropy(probs, np.zeros(5, dtype=int)) == pytest.approx(
+            np.log(4)
+        )
+
+
+class TestSoftmaxRegression:
+    def test_gradient_matches_finite_differences(self):
+        model = SoftmaxRegressionModel(input_dim=6, num_classes=3, reg=1e-3)
+        params = model.init_params(rng())
+        batch = classification_batch()
+        assert model.check_gradient(params, batch) < 1e-5
+
+    def test_loss_decreases_under_gd(self):
+        model = SoftmaxRegressionModel(input_dim=6, num_classes=3)
+        params = model.init_params(rng())
+        X, y = classification_batch(n=200)
+        first = model.loss(params, (X, y))
+        for _ in range(50):
+            _, grad = model.loss_and_grad(params, (X, y))
+            params.add_scaled(grad, -0.5)
+        assert model.loss(params, (X, y)) < first
+
+    def test_accuracy_bounds(self):
+        model = SoftmaxRegressionModel(input_dim=6, num_classes=3)
+        params = model.init_params(rng())
+        acc = model.accuracy(params, classification_batch())
+        assert 0.0 <= acc <= 1.0
+
+    def test_bad_shapes_rejected(self):
+        model = SoftmaxRegressionModel(input_dim=6, num_classes=3)
+        params = model.init_params(rng())
+        with pytest.raises(ValueError):
+            model.loss(params, (np.zeros((4, 5)), np.zeros(4, dtype=int)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SoftmaxRegressionModel(input_dim=0, num_classes=3)
+        with pytest.raises(ValueError):
+            SoftmaxRegressionModel(input_dim=5, num_classes=1)
+
+
+class TestMLP:
+    def test_param_shapes(self):
+        model = MLPModel(input_dim=6, hidden_dims=[8, 4], num_classes=3)
+        params = model.init_params(rng())
+        assert params["w0"].shape == (6, 8)
+        assert params["w1"].shape == (8, 4)
+        assert params["w2"].shape == (4, 3)
+        assert params["b2"].shape == (3,)
+
+    def test_gradient_matches_finite_differences(self):
+        model = MLPModel(input_dim=5, hidden_dims=[7], num_classes=3, reg=1e-3)
+        params = model.init_params(rng())
+        batch = classification_batch(dim=5)
+        assert model.check_gradient(params, batch, sample_size=40) < 1e-4
+
+    def test_two_hidden_layer_gradient(self):
+        model = MLPModel(input_dim=4, hidden_dims=[6, 5], num_classes=3, reg=0.0)
+        params = model.init_params(rng())
+        batch = classification_batch(dim=4)
+        assert model.check_gradient(params, batch, sample_size=40) < 1e-4
+
+    def test_loss_decreases_under_gd(self):
+        model = MLPModel(input_dim=6, hidden_dims=[16], num_classes=3)
+        params = model.init_params(rng())
+        X, y = classification_batch(n=200)
+        first = model.loss(params, (X, y))
+        for _ in range(80):
+            _, grad = model.loss_and_grad(params, (X, y))
+            params.add_scaled(grad, -0.5)
+        assert model.loss(params, (X, y)) < first * 0.9
+
+    def test_empty_hidden_rejected(self):
+        with pytest.raises(ValueError):
+            MLPModel(input_dim=4, hidden_dims=[], num_classes=3)
+
+    def test_negative_hidden_rejected(self):
+        with pytest.raises(ValueError):
+            MLPModel(input_dim=4, hidden_dims=[8, -1], num_classes=3)
+
+
+class TestMatrixFactorization:
+    def make(self):
+        return MatrixFactorizationModel(
+            num_users=12, num_items=9, rank=4, reg=0.05, global_mean=3.0
+        )
+
+    def make_batch(self, n=30, seed=0):
+        r = np.random.default_rng(seed)
+        return (
+            r.integers(0, 12, size=n),
+            r.integers(0, 9, size=n),
+            r.uniform(1, 5, size=n),
+        )
+
+    def test_param_shapes(self):
+        params = self.make().init_params(rng())
+        assert params["user_factors"].shape == (12, 4)
+        assert params["item_factors"].shape == (9, 4)
+        assert params["user_bias"].shape == (12,)
+        assert params["item_bias"].shape == (9,)
+
+    def test_gradient_matches_finite_differences(self):
+        model = self.make()
+        params = model.init_params(rng())
+        batch = self.make_batch()
+        assert model.check_gradient(params, batch, sample_size=40) < 1e-4
+
+    def test_gradient_sparse_rows_zero(self):
+        model = self.make()
+        params = model.init_params(rng())
+        users = np.array([0, 1])
+        items = np.array([2, 3])
+        ratings = np.array([4.0, 2.0])
+        _, grad = model.loss_and_grad(params, (users, items, ratings))
+        # untouched user/item rows have zero gradient
+        assert np.all(grad["user_factors"][5] == 0.0)
+        assert np.all(grad["item_factors"][7] == 0.0)
+        assert np.any(grad["user_factors"][0] != 0.0)
+
+    def test_repeated_index_accumulates(self):
+        model = self.make()
+        params = model.init_params(rng())
+        users = np.array([0, 0])
+        items = np.array([1, 1])
+        ratings = np.array([5.0, 5.0])
+        _, grad_twice = model.loss_and_grad(params, (users, items, ratings))
+        _, grad_once = model.loss_and_grad(
+            params, (users[:1], items[:1], ratings[:1])
+        )
+        # Duplicated sample, same mean loss: same gradient.
+        assert grad_twice.allclose(grad_once, atol=1e-10)
+
+    def test_loss_decreases_under_gd(self):
+        model = self.make()
+        params = model.init_params(rng())
+        batch = self.make_batch(n=60)
+        first = model.loss(params, batch)
+        for _ in range(100):
+            _, grad = model.loss_and_grad(params, batch)
+            params.add_scaled(grad, -0.1)
+        assert model.loss(params, batch) < first
+
+    def test_mismatched_lengths_rejected(self):
+        model = self.make()
+        params = model.init_params(rng())
+        with pytest.raises(ValueError):
+            model.loss(params, (np.array([0]), np.array([1, 2]), np.array([3.0])))
+
+    def test_empty_batch_rejected(self):
+        model = self.make()
+        params = model.init_params(rng())
+        with pytest.raises(ValueError):
+            model.loss(params, (np.array([]), np.array([]), np.array([])))
+
+
+class TestLinearRegression:
+    def test_gradient_matches_finite_differences(self):
+        model = LinearRegressionModel(input_dim=5, reg=0.01)
+        params = model.init_params(rng())
+        r = np.random.default_rng(1)
+        batch = (r.normal(size=(30, 5)), r.normal(size=30))
+        assert model.check_gradient(params, batch) < 1e-6
+
+    def test_sgd_approaches_exact_solution(self):
+        r = np.random.default_rng(2)
+        X = r.normal(size=(400, 3))
+        true_w = np.array([1.5, -2.0, 0.5])
+        y = X @ true_w + 0.7
+        model = LinearRegressionModel(input_dim=3, reg=0.0)
+        params = model.init_params(rng())
+        for _ in range(600):
+            idx = r.integers(0, len(X), size=32)
+            _, grad = model.loss_and_grad(params, (X[idx], y[idx]))
+            params.add_scaled(grad, -0.05)
+        exact = model.solve_exact(X, y)
+        np.testing.assert_allclose(params["weights"], exact["weights"], atol=0.05)
+        np.testing.assert_allclose(params["bias"], exact["bias"], atol=0.05)
+
+    def test_solve_exact_recovers_planted(self):
+        r = np.random.default_rng(3)
+        X = r.normal(size=(200, 2))
+        y = X @ np.array([2.0, -1.0]) + 3.0
+        model = LinearRegressionModel(input_dim=2)
+        exact = model.solve_exact(X, y)
+        np.testing.assert_allclose(exact["weights"], [2.0, -1.0], atol=1e-8)
+        np.testing.assert_allclose(exact["bias"], [3.0], atol=1e-8)

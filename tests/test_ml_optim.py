@@ -1,0 +1,215 @@
+"""Tests for server-side update rules and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.ml import ParamSet
+from repro.ml.optim import (
+    ConstantSchedule,
+    SgdUpdateRule,
+    StepDecaySchedule,
+)
+
+
+def params(value=1.0):
+    return ParamSet({"w": np.array([value, value])})
+
+
+def grad(value=1.0):
+    return ParamSet({"w": np.array([value, value])})
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantSchedule(0.1)
+        assert sched.rate_at(0) == 0.1
+        assert sched.rate_at(10**6) == 0.1
+
+    def test_constant_validates(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+    def test_step_decay_milestones(self):
+        sched = StepDecaySchedule(initial_rate=1.0, milestones=(10, 20), decay=0.1)
+        assert sched.rate_at(0) == 1.0
+        assert sched.rate_at(9) == 1.0
+        assert sched.rate_at(10) == pytest.approx(0.1)
+        assert sched.rate_at(19) == pytest.approx(0.1)
+        assert sched.rate_at(20) == pytest.approx(0.01)
+
+    def test_step_decay_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            StepDecaySchedule(initial_rate=1.0, milestones=(20, 10))
+
+    def test_step_decay_no_milestones(self):
+        sched = StepDecaySchedule(initial_rate=0.5)
+        assert sched.rate_at(1000) == 0.5
+
+
+class TestSgdUpdateRule:
+    def test_plain_sgd_step(self):
+        rule = SgdUpdateRule(ConstantSchedule(0.5))
+        p = params(1.0)
+        rule.apply(p, grad(1.0))
+        np.testing.assert_allclose(p["w"], [0.5, 0.5])
+
+    def test_returns_rate_used(self):
+        rule = SgdUpdateRule(StepDecaySchedule(1.0, (1,), 0.1))
+        p = params()
+        assert rule.apply(p, grad()) == 1.0
+        assert rule.apply(p, grad()) == pytest.approx(0.1)
+
+    def test_update_count_advances(self):
+        rule = SgdUpdateRule(ConstantSchedule(0.1))
+        p = params()
+        for _ in range(5):
+            rule.apply(p, grad())
+        assert rule.updates_applied == 5
+
+    def test_clipping_limits_step(self):
+        rule = SgdUpdateRule(ConstantSchedule(1.0), clip_norm=1.0)
+        p = params(0.0)
+        rule.apply(p, ParamSet({"w": np.array([30.0, 40.0])}))  # norm 50
+        assert np.linalg.norm(p["w"]) == pytest.approx(1.0)
+
+    def test_momentum_accumulates(self):
+        rule = SgdUpdateRule(ConstantSchedule(1.0), momentum=0.5)
+        p = params(0.0)
+        rule.apply(p, grad(1.0))  # v=1, w=-1
+        np.testing.assert_allclose(p["w"], [-1.0, -1.0])
+        rule.apply(p, grad(1.0))  # v=1.5, w=-2.5
+        np.testing.assert_allclose(p["w"], [-2.5, -2.5])
+
+    def test_momentum_one_rejected(self):
+        with pytest.raises(ValueError):
+            SgdUpdateRule(ConstantSchedule(0.1), momentum=1.0)
+
+    def test_invalid_clip_rejected(self):
+        with pytest.raises(ValueError):
+            SgdUpdateRule(ConstantSchedule(0.1), clip_norm=0.0)
+
+    def test_state_snapshot(self):
+        rule = SgdUpdateRule(ConstantSchedule(0.1), momentum=0.3)
+        state = rule.state()
+        assert state["updates_applied"] == 0
+        assert state["momentum"] == 0.3
+        assert state["current_rate"] == 0.1
+
+    def test_gd_convergence_on_quadratic(self):
+        # minimize 0.5*||w - target||^2 with its exact gradient
+        target = np.array([3.0, -2.0])
+        rule = SgdUpdateRule(ConstantSchedule(0.2))
+        p = ParamSet({"w": np.zeros(2)})
+        for _ in range(200):
+            g = ParamSet({"w": p["w"] - target})
+            rule.apply(p, g)
+        np.testing.assert_allclose(p["w"], target, atol=1e-8)
+
+
+class TestAdaGrad:
+    def test_first_step_normalizes_gradient(self):
+        from repro.ml.optim import AdaGradUpdateRule
+
+        rule = AdaGradUpdateRule(ConstantSchedule(0.5))
+        p = params(1.0)
+        rule.apply(p, ParamSet({"w": np.array([1.0, 2.0])}))
+        # step = rate * g / (|g| + eps) = rate * sign(g) on the first step
+        np.testing.assert_allclose(p["w"], [0.5, 0.5], rtol=1e-6)
+
+    def test_effective_rate_shrinks_per_coordinate(self):
+        from repro.ml.optim import AdaGradUpdateRule
+
+        rule = AdaGradUpdateRule(ConstantSchedule(1.0))
+        p = params(0.0)
+        before = p["w"].copy()
+        rule.apply(p, grad(1.0))
+        first_step = before - p["w"]
+        before = p["w"].copy()
+        rule.apply(p, grad(1.0))
+        second_step = before - p["w"]
+        assert np.all(second_step < first_step)
+
+    def test_update_count_advances(self):
+        from repro.ml.optim import AdaGradUpdateRule
+
+        rule = AdaGradUpdateRule(ConstantSchedule(0.1))
+        p = params()
+        rule.apply(p, grad())
+        rule.apply(p, grad())
+        assert rule.updates_applied == 2
+
+    def test_clipping_applies_before_accumulation(self):
+        from repro.ml.optim import AdaGradUpdateRule
+
+        rule = AdaGradUpdateRule(ConstantSchedule(1.0), clip_norm=1.0)
+        p = params(0.0)
+        rule.apply(p, ParamSet({"w": np.array([30.0, 40.0])}))
+        # Clipped direction (0.6, 0.8) then AdaGrad-normalized: both
+        # coordinates step by ~rate.
+        assert np.all(np.abs(p["w"]) <= 1.0 + 1e-6)
+
+    def test_converges_on_quadratic(self):
+        from repro.ml.optim import AdaGradUpdateRule
+
+        target = np.array([3.0, -2.0])
+        rule = AdaGradUpdateRule(ConstantSchedule(0.5))
+        p = ParamSet({"w": np.zeros(2)})
+        for _ in range(2000):
+            g = ParamSet({"w": p["w"] - target})
+            rule.apply(p, g)
+        np.testing.assert_allclose(p["w"], target, atol=0.05)
+
+    def test_invalid_epsilon(self):
+        from repro.ml.optim import AdaGradUpdateRule
+
+        with pytest.raises(ValueError):
+            AdaGradUpdateRule(ConstantSchedule(0.1), epsilon=0.0)
+
+
+class TestStalenessAware:
+    def make(self, rate=1.0, min_scale=0.05):
+        from repro.ml.optim import StalenessAwareUpdateRule
+
+        return StalenessAwareUpdateRule(ConstantSchedule(rate),
+                                        min_scale=min_scale)
+
+    def test_fresh_push_full_rate(self):
+        rule = self.make()
+        p = params(0.0)
+        used = rule.apply_stale(p, grad(1.0), staleness=0)
+        assert used == pytest.approx(1.0)
+        np.testing.assert_allclose(p["w"], [-1.0, -1.0])
+
+    def test_stale_push_damped(self):
+        rule = self.make()
+        p = params(0.0)
+        used = rule.apply_stale(p, grad(1.0), staleness=9)
+        assert used == pytest.approx(0.1)
+
+    def test_min_scale_floor(self):
+        rule = self.make(min_scale=0.25)
+        used = rule.apply_stale(params(0.0), grad(1.0), staleness=1000)
+        assert used == pytest.approx(0.25)
+
+    def test_negative_staleness_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().apply_stale(params(0.0), grad(1.0), staleness=-1)
+
+    def test_invalid_min_scale(self):
+        from repro.ml.optim import StalenessAwareUpdateRule
+
+        with pytest.raises(ValueError):
+            StalenessAwareUpdateRule(ConstantSchedule(0.1), min_scale=0.0)
+
+    def test_store_routes_staleness(self):
+        from repro.ml.optim import StalenessAwareUpdateRule
+        from repro.ps import ParameterStore
+
+        rule = StalenessAwareUpdateRule(ConstantSchedule(1.0))
+        store = ParameterStore(params(0.0), rule)
+        snap = store.snapshot(0.0)  # version 0
+        store.apply_push(1, grad(1.0), 0, 1.0)   # staleness 0 -> rate 1
+        record = store.apply_push(0, grad(1.0), snap.version, 2.0)
+        # second push has staleness 1 -> rate 0.5
+        assert record.learning_rate == pytest.approx(0.5)
+        np.testing.assert_allclose(store.params["w"], [-1.5, -1.5])

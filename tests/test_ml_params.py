@@ -1,0 +1,143 @@
+"""Tests for the ParamSet container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml import ParamSet
+
+
+def make_params():
+    return ParamSet({"w": np.array([[1.0, 2.0], [3.0, 4.0]]), "b": np.array([5.0])})
+
+
+class TestBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSet({})
+
+    def test_mapping_interface(self):
+        params = make_params()
+        assert "w" in params and "b" in params
+        assert len(params) == 2
+        assert list(params) == ["w", "b"]
+        np.testing.assert_array_equal(params["b"], [5.0])
+
+    def test_arrays_coerced_to_float64(self):
+        params = ParamSet({"x": np.array([1, 2, 3], dtype=np.int32)})
+        assert params["x"].dtype == np.float64
+
+    def test_num_elements(self):
+        assert make_params().num_elements == 5
+
+    def test_wire_bytes_float32(self):
+        assert make_params().wire_bytes() == 20
+        assert make_params().wire_bytes(dtype_bytes=8) == 40
+
+
+class TestVectorOps:
+    def test_copy_is_deep(self):
+        a = make_params()
+        b = a.copy()
+        b["w"][0, 0] = 99.0
+        assert a["w"][0, 0] == 1.0
+
+    def test_zeros_like(self):
+        zeros = make_params().zeros_like()
+        assert zeros.norm() == 0.0
+        assert set(zeros.keys()) == {"w", "b"}
+
+    def test_add_scaled_in_place(self):
+        a = make_params()
+        g = make_params()
+        a.add_scaled(g, -0.5)
+        np.testing.assert_allclose(a["b"], [2.5])
+
+    def test_scaled_returns_new(self):
+        a = make_params()
+        b = a.scaled(2.0)
+        np.testing.assert_allclose(b["b"], [10.0])
+        np.testing.assert_allclose(a["b"], [5.0])
+
+    def test_subtract(self):
+        diff = make_params().subtract(make_params())
+        assert diff.norm() == 0.0
+
+    def test_norm(self):
+        params = ParamSet({"x": np.array([3.0]), "y": np.array([4.0])})
+        assert params.norm() == pytest.approx(5.0)
+
+    def test_incompatible_keys_rejected(self):
+        a = make_params()
+        b = ParamSet({"w": np.zeros((2, 2))})
+        with pytest.raises(ValueError):
+            a.add_scaled(b, 1.0)
+
+    def test_incompatible_shapes_rejected(self):
+        a = make_params()
+        b = ParamSet({"w": np.zeros((3, 2)), "b": np.zeros(1)})
+        with pytest.raises(ValueError):
+            a.add_scaled(b, 1.0)
+
+
+class TestClipping:
+    def test_no_clip_below_threshold(self):
+        params = ParamSet({"x": np.array([3.0, 4.0])})  # norm 5
+        clipped = params.clip_by_global_norm(10.0)
+        assert clipped.allclose(params)
+
+    def test_clip_rescales_to_max(self):
+        params = ParamSet({"x": np.array([3.0, 4.0])})
+        clipped = params.clip_by_global_norm(1.0)
+        assert clipped.norm() == pytest.approx(1.0)
+        # direction preserved
+        np.testing.assert_allclose(clipped["x"], [0.6, 0.8])
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            make_params().clip_by_global_norm(0.0)
+
+    def test_zero_params_unchanged(self):
+        zeros = make_params().zeros_like()
+        assert zeros.clip_by_global_norm(1.0).norm() == 0.0
+
+
+class TestVectorRoundTrip:
+    def test_to_from_vector(self):
+        params = make_params()
+        vec = params.to_vector()
+        assert vec.shape == (5,)
+        rebuilt = params.from_vector(vec)
+        assert rebuilt.allclose(params)
+
+    def test_from_vector_wrong_size(self):
+        with pytest.raises(ValueError):
+            make_params().from_vector(np.zeros(4))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=5,
+            max_size=5,
+        )
+    )
+    def test_round_trip_any_values(self, values):
+        params = make_params()
+        vec = np.array(values)
+        rebuilt = params.from_vector(vec)
+        np.testing.assert_allclose(rebuilt.to_vector(), vec)
+
+
+class TestAllclose:
+    def test_different_keys_not_close(self):
+        a = make_params()
+        b = ParamSet({"w": a["w"].copy()})
+        assert not a.allclose(b)
+
+    def test_tolerance(self):
+        a = make_params()
+        b = a.copy()
+        b["b"][0] += 1e-14
+        assert a.allclose(b)
+        b["b"][0] += 1.0
+        assert not a.allclose(b)

@@ -1,0 +1,105 @@
+"""Property-based tests over the ML substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (
+    LinearRegressionModel,
+    MLPModel,
+    ParamSet,
+    SoftmaxRegressionModel,
+)
+
+
+class TestGradientProperties:
+    @settings(deadline=None, max_examples=10)
+    @given(
+        input_dim=st.integers(min_value=2, max_value=8),
+        num_classes=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_softmax_gradients_correct_for_any_shape(
+        self, input_dim, num_classes, seed
+    ):
+        model = SoftmaxRegressionModel(input_dim, num_classes, reg=1e-3)
+        rng = np.random.default_rng(seed)
+        params = model.init_params(rng)
+        X = rng.normal(size=(12, input_dim))
+        y = rng.integers(0, num_classes, size=12)
+        assert model.check_gradient(params, (X, y), sample_size=12) < 1e-4
+
+    @settings(deadline=None, max_examples=8)
+    @given(
+        hidden=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_mlp_gradients_correct_for_any_width(self, hidden, seed):
+        model = MLPModel(4, [hidden], 3, reg=0.0)
+        rng = np.random.default_rng(seed)
+        params = model.init_params(rng)
+        X = rng.normal(size=(10, 4))
+        y = rng.integers(0, 3, size=10)
+        assert model.check_gradient(params, (X, y), sample_size=20) < 1e-4
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_loss_is_deterministic_pure_function(self, seed):
+        model = LinearRegressionModel(3)
+        rng = np.random.default_rng(seed)
+        params = model.init_params(rng)
+        X = rng.normal(size=(8, 3))
+        y = rng.normal(size=8)
+        assert model.loss(params, (X, y)) == model.loss(params, (X, y))
+        _, g1 = model.loss_and_grad(params, (X, y))
+        _, g2 = model.loss_and_grad(params, (X, y))
+        assert g1.allclose(g2)
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_gradient_descends_loss_locally(self, seed):
+        """One small step against the gradient must not increase the loss."""
+        model = SoftmaxRegressionModel(4, 3, reg=1e-4)
+        rng = np.random.default_rng(seed)
+        params = model.init_params(rng)
+        X = rng.normal(size=(20, 4))
+        y = rng.integers(0, 3, size=20)
+        loss, grad = model.loss_and_grad(params, (X, y))
+        stepped = params.copy()
+        stepped.add_scaled(grad, -1e-4)
+        assert model.loss(stepped, (X, y)) <= loss + 1e-12
+
+
+class TestParamSetProperties:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        alpha=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_add_scaled_matches_vector_arithmetic(self, alpha, seed):
+        rng = np.random.default_rng(seed)
+        a = ParamSet({"x": rng.normal(size=(3, 2)), "y": rng.normal(size=4)})
+        b = ParamSet({"x": rng.normal(size=(3, 2)), "y": rng.normal(size=4)})
+        expected = a.to_vector() + alpha * b.to_vector()
+        a.add_scaled(b, alpha)
+        np.testing.assert_allclose(a.to_vector(), expected)
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_norm_matches_vector_norm(self, seed):
+        rng = np.random.default_rng(seed)
+        params = ParamSet({"x": rng.normal(size=5), "y": rng.normal(size=(2, 2))})
+        assert params.norm() == pytest.approx(
+            float(np.linalg.norm(params.to_vector()))
+        )
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        max_norm=st.floats(min_value=0.01, max_value=100, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_clip_never_exceeds_max_norm(self, max_norm, seed):
+        rng = np.random.default_rng(seed)
+        params = ParamSet({"x": rng.normal(size=10) * 50})
+        clipped = params.clip_by_global_norm(max_norm)
+        assert clipped.norm() <= max_norm * (1 + 1e-9)

@@ -1,0 +1,115 @@
+"""Tests for the MXNet-style KVStore facade."""
+
+import numpy as np
+import pytest
+
+from repro.ml.optim import ConstantSchedule, SgdUpdateRule
+from repro.ps.kvstore import KVStore
+
+
+def make_store(rate=0.5):
+    return KVStore("dist_async", SgdUpdateRule(ConstantSchedule(rate)))
+
+
+class TestLifecycle:
+    def test_create_default(self):
+        kv = KVStore.create()
+        assert kv.mode == "dist_async"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            KVStore("dist_magic", SgdUpdateRule(ConstantSchedule(0.1)))
+
+    def test_init_and_pull(self):
+        kv = make_store()
+        kv.init("w", np.arange(4.0))
+        np.testing.assert_allclose(kv.pull("w"), [0, 1, 2, 3])
+
+    def test_double_init_rejected(self):
+        kv = make_store()
+        kv.init("w", np.zeros(2))
+        with pytest.raises(KeyError):
+            kv.init("w", np.zeros(2))
+
+    def test_pull_unknown_key(self):
+        with pytest.raises(KeyError, match="not initialized"):
+            make_store().pull("nope")
+
+
+class TestPush:
+    def test_push_applies_sgd(self):
+        kv = make_store(rate=0.5)
+        kv.init("w", np.array([1.0, 1.0]))
+        kv.push("w", np.array([1.0, 2.0]))
+        np.testing.assert_allclose(kv.pull("w"), [0.5, 0.0])
+
+    def test_push_returns_key_version(self):
+        kv = make_store()
+        kv.init("w", np.zeros(2))
+        assert kv.push("w", np.zeros(2)) == 1
+        assert kv.push("w", np.zeros(2)) == 2
+        assert kv.version("w") == 2
+
+    def test_shape_mismatch_rejected(self):
+        kv = make_store()
+        kv.init("w", np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            kv.push("w", np.zeros(3))
+
+    def test_pull_returns_copy(self):
+        kv = make_store()
+        kv.init("w", np.zeros(2))
+        pulled = kv.pull("w")
+        pulled[0] = 99.0
+        assert kv.pull("w")[0] == 0.0
+
+    def test_total_pushes_across_keys(self):
+        kv = make_store()
+        kv.init("a", np.zeros(1))
+        kv.init("b", np.zeros(1))
+        kv.push("a", np.zeros(1))
+        kv.push("b", np.zeros(1))
+        assert kv.total_pushes == 2
+
+    def test_schedule_advances_across_keys(self):
+        from repro.ml.optim import StepDecaySchedule
+
+        kv = KVStore("dist_async",
+                     SgdUpdateRule(StepDecaySchedule(1.0, (1,), 0.1)))
+        kv.init("a", np.array([0.0]))
+        kv.init("b", np.array([0.0]))
+        kv.push("a", np.array([1.0]))  # rate 1.0
+        kv.push("b", np.array([1.0]))  # rate 0.1 (schedule shared)
+        np.testing.assert_allclose(kv.pull("a"), [-1.0])
+        np.testing.assert_allclose(kv.pull("b"), [-0.1])
+
+
+class TestRowSparsePull:
+    def test_pulls_selected_rows(self):
+        kv = make_store()
+        kv.init("emb", np.arange(12.0).reshape(4, 3))
+        rows = kv.row_sparse_pull("emb", np.array([0, 2]))
+        np.testing.assert_allclose(rows, [[0, 1, 2], [6, 7, 8]])
+
+    def test_returns_copy(self):
+        kv = make_store()
+        kv.init("emb", np.zeros((3, 2)))
+        rows = kv.row_sparse_pull("emb", np.array([1]))
+        rows[0, 0] = 42.0
+        assert kv.pull("emb")[1, 0] == 0.0
+
+
+class TestParamSetBridge:
+    def test_as_paramset_snapshot(self):
+        kv = make_store()
+        kv.init("w", np.ones(3))
+        kv.init("b", np.zeros(1))
+        snapshot = kv.as_paramset()
+        kv.push("w", np.ones(3))
+        np.testing.assert_allclose(snapshot["w"], [1, 1, 1])
+        assert set(snapshot.keys()) == {"w", "b"}
+
+    def test_keys_listing(self):
+        kv = make_store()
+        kv.init("x", np.zeros(1))
+        assert kv.keys == ["x"]

@@ -1,0 +1,63 @@
+"""Tests for RunResult aggregation and convergence helpers."""
+
+import pytest
+
+from repro import AspPolicy, ClusterSpec, ConvergenceCriterion
+from repro.workloads import tiny_workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    return tiny_workload().run(
+        ClusterSpec.homogeneous(3), AspPolicy(), seed=1, horizon_s=60.0
+    )
+
+
+class TestAggregates:
+    def test_total_iterations_sums_workers(self, result):
+        assert result.total_iterations == sum(
+            w.iterations for w in result.worker_stats
+        )
+
+    def test_total_iterations_matches_store_pushes(self, result):
+        assert result.total_iterations == len(result.traces.pushes)
+
+    def test_final_loss_is_last_eval(self, result):
+        assert result.final_loss == result.curve.points()[-1].loss
+
+    def test_transfer_positive(self, result):
+        assert result.total_transfer_bytes > 0
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        for key in ("scheme", "workload", "workers", "iterations",
+                    "mean_staleness", "final_loss", "transfer_bytes"):
+            assert key in summary
+
+
+class TestConvergenceHelpers:
+    def test_time_to_convergence_loose_target(self, result):
+        criterion = ConvergenceCriterion(target_loss=10.0, consecutive=1)
+        assert result.time_to_convergence(criterion) is not None
+
+    def test_time_to_convergence_impossible_target(self, result):
+        criterion = ConvergenceCriterion(target_loss=-1.0, consecutive=1)
+        assert result.time_to_convergence(criterion) is None
+
+    def test_evaluate_convergence_caches(self, result):
+        criterion = ConvergenceCriterion(target_loss=10.0, consecutive=1)
+        conv = result.evaluate_convergence(criterion)
+        assert result.convergence is conv
+
+    def test_speedup_over_self_is_one(self, result):
+        criterion = ConvergenceCriterion(target_loss=10.0, consecutive=1)
+        assert result.speedup_over(result, criterion) == pytest.approx(1.0)
+
+    def test_speedup_raises_without_convergence(self, result):
+        criterion = ConvergenceCriterion(target_loss=-1.0, consecutive=1)
+        with pytest.raises(ValueError):
+            result.speedup_over(result, criterion)
+
+    def test_repr_mentions_scheme_and_workload(self, result):
+        text = repr(result)
+        assert "asp" in text and "tiny" in text

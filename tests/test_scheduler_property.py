@@ -1,0 +1,120 @@
+"""Property-based tests of the SpecSync scheduler under random notify
+sequences (no simulation — the fake clock from the unit tests, driven by
+hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hyperparams import SpecSyncHyperparams
+from repro.core.scheduler import SpecSyncScheduler
+from repro.core.tuning import AdaptiveTuner, FixedTuner
+
+
+class RecordingClock:
+    def __init__(self):
+        self.now = 0.0
+        self.pending = []
+
+    def schedule(self, delay, fn):
+        self.pending.append((self.now + delay, fn))
+
+    def drain_until(self, time):
+        self.now = time
+        due = sorted(
+            (t, i) for i, (t, _) in enumerate(self.pending) if t <= time
+        )
+        fired = [self.pending[i][1] for _, i in due]
+        self.pending = [p for i, p in enumerate(self.pending)
+                        if i not in {i for _, i in due}]
+        for fn in fired:
+            fn()
+
+
+notify_sequences = st.lists(
+    st.tuples(
+        st.floats(min_value=0.001, max_value=5.0),  # inter-notify gap
+        st.integers(min_value=0, max_value=5),      # worker id (m=6)
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestSchedulerProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(sequence=notify_sequences)
+    def test_fixed_tuner_invariants(self, sequence):
+        clock = RecordingClock()
+        resyncs = []
+        scheduler = SpecSyncScheduler(
+            num_workers=6,
+            tuner=FixedTuner(SpecSyncHyperparams(1.0, 0.3)),
+            schedule_fn=clock.schedule,
+            now_fn=lambda: clock.now,
+            send_resync_fn=lambda w, i: resyncs.append((w, i)),
+        )
+        notifies = 0
+        for gap, worker in sequence:
+            clock.drain_until(clock.now + gap)
+            scheduler.handle_notify(worker, iteration=notifies)
+            notifies += 1
+        clock.drain_until(clock.now + 10.0)  # let all checks fire
+
+        # One check per notify; all checks eventually fire.
+        assert scheduler.checks_run == notifies
+        # Re-syncs never exceed checks.
+        assert scheduler.resyncs_sent <= scheduler.checks_run
+        assert len(resyncs) == scheduler.resyncs_sent
+        # Re-syncs only target workers that notified.
+        notified_workers = {w for _, w in sequence}
+        assert {w for w, _ in resyncs} <= notified_workers
+        # Epochs cannot outnumber floor(pushes / m).
+        assert scheduler.epochs_completed <= notifies // 6
+
+    @settings(deadline=None, max_examples=30)
+    @given(sequence=notify_sequences)
+    def test_adaptive_tuner_never_crashes_and_logs_epochs(self, sequence):
+        clock = RecordingClock()
+        scheduler = SpecSyncScheduler(
+            num_workers=6,
+            tuner=AdaptiveTuner(),
+            schedule_fn=clock.schedule,
+            now_fn=lambda: clock.now,
+            send_resync_fn=lambda w, i: None,
+        )
+        for gap, worker in sequence:
+            clock.drain_until(clock.now + gap)
+            scheduler.handle_notify(worker, iteration=0)
+        clock.drain_until(clock.now + 10.0)
+        assert len(scheduler.hyperparam_log) == scheduler.epochs_completed
+        # Tuned windows, when produced, are positive and below the mean span.
+        for _, hyperparams in scheduler.hyperparam_log:
+            if hyperparams is not None:
+                assert hyperparams.abort_time_s > 0
+                assert hyperparams.abort_rate >= 0
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        sequence=notify_sequences,
+        threshold_rate=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_threshold_monotonicity(self, sequence, threshold_rate):
+        """A higher ABORT_RATE can only reduce the number of re-syncs."""
+
+        def run(rate):
+            clock = RecordingClock()
+            scheduler = SpecSyncScheduler(
+                num_workers=6,
+                tuner=FixedTuner(SpecSyncHyperparams(1.0, rate)),
+                schedule_fn=clock.schedule,
+                now_fn=lambda: clock.now,
+                send_resync_fn=lambda w, i: None,
+            )
+            for gap, worker in sequence:
+                clock.drain_until(clock.now + gap)
+                scheduler.handle_notify(worker, iteration=0)
+            clock.drain_until(clock.now + 10.0)
+            return scheduler.resyncs_sent
+
+        low = run(threshold_rate)
+        high = run(threshold_rate + 0.2)
+        assert high <= low

@@ -1,0 +1,148 @@
+"""End-to-end tests of the SpecSync policy inside the engine."""
+
+import pytest
+
+from repro import (
+    AspPolicy,
+    ClusterSpec,
+    SpecSyncHyperparams,
+    SpecSyncPolicy,
+    SspPolicy,
+)
+from repro.cluster.compute import ComputeTimeModel
+from repro.workloads import tiny_workload
+
+
+CLUSTER = ClusterSpec.homogeneous(6)
+
+
+def wave_workload():
+    """Low jitter keeps workers phase-coherent: pushes arrive in waves,
+    the regime where speculation fires."""
+    return tiny_workload().with_overrides(
+        base_compute=ComputeTimeModel(mean_time_s=1.0, jitter_sigma=0.05)
+    )
+
+
+def run(policy, seed=0, horizon=60.0, **kwargs):
+    return wave_workload().run(CLUSTER, policy, seed=seed, horizon_s=horizon,
+                               **kwargs)
+
+
+class TestNames:
+    def test_adaptive_name(self):
+        assert SpecSyncPolicy.adaptive().name == "specsync-adaptive"
+
+    def test_cherrypick_name(self):
+        policy = SpecSyncPolicy.cherrypick(SpecSyncHyperparams(0.2, 0.25))
+        assert policy.name == "specsync-cherrypick"
+
+    def test_composed_name(self):
+        policy = SpecSyncPolicy.adaptive(base_policy=SspPolicy(3))
+        assert policy.name == "specsync-adaptive+ssp(s=3)"
+
+
+class TestAbortBehaviour:
+    def test_adaptive_produces_aborts(self):
+        result = run(SpecSyncPolicy.adaptive())
+        assert result.total_aborts > 0
+        assert result.policy_summary["resyncs_honored"] == result.total_aborts
+
+    def test_cherrypick_produces_aborts(self):
+        result = run(SpecSyncPolicy.cherrypick(SpecSyncHyperparams(0.2, 0.3)))
+        assert result.total_aborts > 0
+
+    def test_aborts_trigger_restart_pulls(self):
+        result = run(SpecSyncPolicy.adaptive())
+        restarts = [p for p in result.traces.pulls if p.is_restart]
+        assert len(restarts) == result.total_aborts
+
+    def test_notify_per_iteration(self):
+        result = run(SpecSyncPolicy.adaptive())
+        assert result.policy_summary["notifies_sent"] == result.total_iterations
+
+    def test_resyncs_honored_at_most_sent(self):
+        result = run(SpecSyncPolicy.adaptive())
+        assert (
+            result.policy_summary["resyncs_honored"]
+            <= result.policy_summary["resyncs_sent"]
+        )
+
+    def test_abort_budget_zero_disables_aborts(self):
+        result = run(SpecSyncPolicy.adaptive(), max_aborts_per_iteration=0)
+        assert result.total_aborts == 0
+
+    def test_at_most_one_abort_per_iteration_by_default(self):
+        result = run(SpecSyncPolicy.adaptive())
+        by_iteration = {}
+        for abort in result.traces.aborts:
+            key = (abort.worker_id, abort.iteration)
+            by_iteration[key] = by_iteration.get(key, 0) + 1
+        assert all(count <= 1 for count in by_iteration.values())
+
+    def test_never_aborting_hyperparams_match_asp_progress(self):
+        """With an unreachable threshold, SpecSync degenerates to ASP."""
+        policy = SpecSyncPolicy.cherrypick(SpecSyncHyperparams(0.01, 5.0))
+        specsync = run(policy, seed=4)
+        asp = run(AspPolicy(), seed=4)
+        assert specsync.total_aborts == 0
+        assert specsync.total_iterations == asp.total_iterations
+
+
+class TestFreshness:
+    def test_staleness_reduced_vs_asp(self):
+        """The paper's core effect: re-syncs lower the average number of
+        missed updates per applied push (wave-coherent regime)."""
+        asp = run(AspPolicy(), seed=2, horizon=120.0)
+        spec = run(SpecSyncPolicy.adaptive(), seed=2, horizon=120.0)
+        assert spec.mean_staleness < asp.mean_staleness
+
+    def test_throughput_cost_is_bounded(self):
+        """Aborts delay iterations but must not collapse throughput."""
+        asp = run(AspPolicy(), seed=2, horizon=120.0)
+        spec = run(SpecSyncPolicy.adaptive(), seed=2, horizon=120.0)
+        assert spec.total_iterations > 0.6 * asp.total_iterations
+
+
+class TestControlTraffic:
+    def test_notify_and_resync_accounted(self):
+        result = run(SpecSyncPolicy.adaptive())
+        by_kind = result.ledger.bytes_by_kind()
+        assert by_kind.get("notify", 0) > 0
+        assert by_kind.get("resync", 0) > 0
+
+    def test_control_fraction_negligible(self):
+        """Paper Section VI-D: SpecSync's extra communication is tiny."""
+        result = run(SpecSyncPolicy.adaptive())
+        assert result.ledger.control_fraction() < 0.01
+
+
+class TestComposition:
+    def test_specsync_on_ssp_respects_bound(self):
+        bound = 2
+        policy = SpecSyncPolicy.adaptive(base_policy=SspPolicy(bound))
+        result = run(policy)
+        progress = {w: 0 for w in range(CLUSTER.num_workers)}
+        for event in result.traces.pushes:
+            progress[event.worker_id] += 1
+            spread = max(progress.values()) - min(progress.values())
+            assert spread <= bound + 1
+
+    def test_specsync_on_ssp_still_aborts(self):
+        policy = SpecSyncPolicy.adaptive(base_policy=SspPolicy(3))
+        result = run(policy)
+        assert result.total_aborts > 0
+
+    def test_composed_summary_includes_base(self):
+        policy = SpecSyncPolicy.adaptive(base_policy=SspPolicy(3))
+        result = run(policy)
+        assert "base" in result.policy_summary
+
+
+class TestDeterminism:
+    def test_specsync_runs_are_reproducible(self):
+        a = run(SpecSyncPolicy.adaptive(), seed=9)
+        b = run(SpecSyncPolicy.adaptive(), seed=9)
+        assert a.total_aborts == b.total_aborts
+        assert a.final_loss == b.final_loss
+        assert [p.time for p in a.traces.pushes] == [p.time for p in b.traces.pushes]

@@ -1,0 +1,225 @@
+"""Tests for Algorithm 1: freshness estimation and hyperparameter tuning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hyperparams import SpecSyncHyperparams
+from repro.core.tuning import (
+    AdaptiveTuner,
+    EpochTrace,
+    FixedTuner,
+    candidate_windows,
+    estimate_freshness_gain,
+    estimate_freshness_loss,
+    freshness_improvement,
+    tune_hyperparams,
+)
+
+
+def make_trace(pushes, num_workers=4, spans=None):
+    """Build an EpochTrace from (time, worker) pairs."""
+    pushes = sorted(pushes)
+    last = {}
+    for t, w in pushes:
+        last[w] = max(last.get(w, t), t)
+    return EpochTrace(
+        num_workers=num_workers,
+        pushes=pushes,
+        last_push_by_worker=last,
+        iteration_spans=spans or {w: 10.0 for w in range(num_workers)},
+    )
+
+
+class TestHyperparams:
+    def test_threshold_count(self):
+        hp = SpecSyncHyperparams(abort_time_s=1.0, abort_rate=0.25)
+        assert hp.threshold_count(40) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpecSyncHyperparams(abort_time_s=0.0, abort_rate=0.1)
+        with pytest.raises(ValueError):
+            SpecSyncHyperparams(abort_time_s=1.0, abort_rate=-0.1)
+        with pytest.raises(ValueError):
+            SpecSyncHyperparams(abort_time_s=1.0, abort_rate=0.1).threshold_count(0)
+
+
+class TestFreshnessGain:
+    def test_counts_peer_pushes_after_own_last_push(self):
+        trace = make_trace(
+            [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 1)], num_workers=3
+        )
+        # worker 0's reference is t=0; peers push at 1, 2, 3.
+        assert estimate_freshness_gain(trace, 0, 1.0) == 1
+        assert estimate_freshness_gain(trace, 0, 2.0) == 2
+        assert estimate_freshness_gain(trace, 0, 3.0) == 3
+
+    def test_excludes_own_pushes(self):
+        trace = make_trace([(0.0, 0), (1.0, 0), (2.0, 1)], num_workers=2)
+        # worker 0's reference is its LAST push (t=1); only the peer at 2.
+        assert estimate_freshness_gain(trace, 0, 5.0) == 1
+
+    def test_window_boundary_inclusive(self):
+        trace = make_trace([(0.0, 0), (2.0, 1)], num_workers=2)
+        assert estimate_freshness_gain(trace, 0, 2.0) == 1
+        assert estimate_freshness_gain(trace, 0, 1.999) == 0
+
+    def test_worker_without_pushes_has_zero_gain(self):
+        trace = make_trace([(0.0, 0)], num_workers=3)
+        assert estimate_freshness_gain(trace, 2, 10.0) == 0
+
+    def test_gain_is_monotone_step_function(self):
+        trace = make_trace(
+            [(0.0, 0), (1.0, 1), (2.5, 2), (7.0, 1)], num_workers=3
+        )
+        gains = [estimate_freshness_gain(trace, 0, w) for w in
+                 (0.5, 1.0, 2.0, 2.5, 6.0, 7.0)]
+        assert gains == sorted(gains)
+        assert gains == [0, 1, 1, 2, 2, 3]
+
+    def test_negative_window_rejected(self):
+        trace = make_trace([(0.0, 0)], num_workers=1)
+        with pytest.raises(ValueError):
+            estimate_freshness_gain(trace, 0, -1.0)
+
+
+class TestFreshnessLoss:
+    def test_formula(self):
+        # l = Δ(m−1)/T
+        assert estimate_freshness_loss(41, 10.0, 2.0) == pytest.approx(8.0)
+
+    def test_linear_in_window(self):
+        one = estimate_freshness_loss(10, 5.0, 1.0)
+        three = estimate_freshness_loss(10, 5.0, 3.0)
+        assert three == pytest.approx(3 * one)
+
+    def test_zero_window_zero_loss(self):
+        assert estimate_freshness_loss(10, 5.0, 0.0) == 0.0
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_freshness_loss(10, 0.0, 1.0)
+
+
+class TestCandidateWindows:
+    def test_pairwise_differences(self):
+        windows = candidate_windows([0.0, 1.0, 3.0])
+        assert windows == [1.0, 2.0, 3.0]
+
+    def test_deduplication(self):
+        windows = candidate_windows([0.0, 1.0, 2.0])  # diffs 1,1,2
+        assert windows == [1.0, 2.0]
+
+    def test_subsampling_cap(self):
+        times = [float(i) ** 1.3 for i in range(100)]
+        windows = candidate_windows(times, max_candidates=50)
+        assert len(windows) == 50
+        assert windows == sorted(windows)
+
+    def test_empty_and_single(self):
+        assert candidate_windows([]) == []
+        assert candidate_windows([5.0]) == []
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e4), min_size=2, max_size=25))
+    def test_all_windows_positive_and_sorted(self, times):
+        windows = candidate_windows(times)
+        assert all(w > 0 for w in windows)
+        assert windows == sorted(windows)
+
+
+class TestTuneHyperparams:
+    def test_thin_trace_returns_none(self):
+        assert tune_hyperparams(make_trace([], num_workers=2)) is None
+        assert tune_hyperparams(
+            EpochTrace(num_workers=2, pushes=[(0.0, 0)],
+                       last_push_by_worker={0: 0.0}, iteration_spans={})
+        ) is None
+
+    def test_picks_window_covering_burst(self):
+        """A burst of peer pushes shortly after most workers' last pushes
+        should pull the tuned window out to cover the burst."""
+        pushes = [(float(w) * 0.01, w) for w in range(3)]  # 0,1,2 at ~t=0
+        # worker 3 then pushes in a burst around t ≈ 1
+        pushes += [(1.0 + k * 0.1, 3) for k in range(4)]
+        trace = make_trace(pushes, num_workers=4,
+                           spans={w: 10.0 for w in range(4)})
+        hp = tune_hyperparams(trace)
+        assert hp is not None
+        # Windows shorter than ~1s uncover nothing for workers 0-2, so the
+        # maximizer must reach into the burst.
+        assert hp.abort_time_s >= 0.9
+
+    def test_window_below_mean_span(self):
+        pushes = [(float(i), i % 3) for i in range(9)]
+        trace = make_trace(pushes, num_workers=3,
+                           spans={w: 3.0 for w in range(3)})
+        hp = tune_hyperparams(trace)
+        assert hp is not None
+        assert hp.abort_time_s < 3.0
+
+    def test_abort_rate_follows_algorithm1_line7(self):
+        pushes = [(float(i) * 0.5, i % 4) for i in range(12)]
+        spans = {w: 2.0 for w in range(4)}
+        trace = make_trace(pushes, num_workers=4, spans=spans)
+        hp = tune_hyperparams(trace)
+        assert hp is not None
+        m = 4
+        mean_span = 2.0
+        expected_rate = hp.abort_time_s * (m - 1) / (mean_span * m)
+        assert hp.abort_rate == pytest.approx(expected_rate)
+
+    @settings(deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=4),
+            ),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_tuned_window_is_a_candidate_or_none(self, pushes):
+        trace = make_trace(pushes, num_workers=5)
+        hp = tune_hyperparams(trace)
+        if hp is not None:
+            candidates = candidate_windows([t for t, _ in trace.pushes])
+            assert any(abs(hp.abort_time_s - c) < 1e-9 for c in candidates)
+
+    def test_tuned_window_maximizes_improvement(self):
+        pushes = [(float(i) * 0.7, i % 4) for i in range(10)]
+        trace = make_trace(pushes, num_workers=4,
+                           spans={w: 5.0 for w in range(4)})
+        hp = tune_hyperparams(trace)
+        assert hp is not None
+        best = freshness_improvement(trace, hp.abort_time_s)
+        for candidate in candidate_windows([t for t, _ in trace.pushes]):
+            if 0 < candidate < 5.0:
+                assert freshness_improvement(trace, candidate) <= best + 1e-9
+
+
+class TestTuners:
+    def test_fixed_tuner_is_constant(self):
+        hp = SpecSyncHyperparams(1.0, 0.2)
+        tuner = FixedTuner(hp)
+        assert tuner.initial() is hp
+        assert tuner.retune(make_trace([(0.0, 0), (1.0, 1)])) is hp
+        assert tuner.label == "cherrypick"
+
+    def test_adaptive_tuner_starts_disabled(self):
+        tuner = AdaptiveTuner()
+        assert tuner.initial() is None
+        assert tuner.label == "adaptive"
+
+    def test_adaptive_tuner_records_history_and_cost(self):
+        tuner = AdaptiveTuner()
+        trace = make_trace([(float(i) * 0.5, i % 3) for i in range(9)],
+                           num_workers=3)
+        result = tuner.retune(trace)
+        assert result is not None
+        assert tuner.history == [result]
+        assert tuner.total_tuning_wall_s > 0
+
+    def test_adaptive_tuner_validates_candidates(self):
+        with pytest.raises(ValueError):
+            AdaptiveTuner(max_candidates=0)

@@ -1,0 +1,132 @@
+"""Tests for the baseline synchronization schemes (ASP/BSP/SSP/naïve wait).
+
+These run small end-to-end simulations on the tiny workload and assert the
+defining invariant of each scheme from the recorded traces.
+"""
+
+import pytest
+
+from repro import AspPolicy, BspPolicy, ClusterSpec, NaiveWaitingPolicy, SspPolicy
+from repro.workloads import tiny_workload
+
+
+CLUSTER = ClusterSpec.homogeneous(5)
+
+
+def run(policy, horizon=40.0, seed=0, cluster=CLUSTER):
+    return tiny_workload().run(cluster, policy, seed=seed, horizon_s=horizon)
+
+
+class TestAsp:
+    def test_name(self):
+        assert AspPolicy().name == "asp"
+
+    def test_no_waiting_no_aborts(self):
+        result = run(AspPolicy())
+        assert result.total_aborts == 0
+        assert result.policy_summary == {}
+
+    def test_workers_progress_independently(self):
+        # With jitter, completed-iteration counts should differ across workers.
+        result = run(AspPolicy(), horizon=60.0)
+        iterations = [w.iterations for w in result.worker_stats]
+        assert max(iterations) > 0
+
+
+class TestBsp:
+    def test_name(self):
+        assert BspPolicy().name == "bsp"
+
+    def test_lockstep_invariant(self):
+        """At every push, no worker is ever more than 1 iteration ahead."""
+        result = run(BspPolicy())
+        progress = {w: 0 for w in range(CLUSTER.num_workers)}
+        for event in result.traces.pushes:
+            progress[event.worker_id] += 1
+            spread = max(progress.values()) - min(progress.values())
+            assert spread <= 1, f"BSP barrier violated: spread {spread}"
+
+    def test_all_workers_finish_same_round_count(self):
+        result = run(BspPolicy())
+        iterations = [w.iterations for w in result.worker_stats]
+        assert max(iterations) - min(iterations) <= 1
+
+    def test_bsp_slower_than_asp_in_iterations(self):
+        asp = run(AspPolicy(), seed=2)
+        bsp = run(BspPolicy(), seed=2)
+        assert bsp.total_iterations < asp.total_iterations
+
+    def test_zero_staleness_within_snapshot(self):
+        """BSP gradients are computed on the snapshot of the previous round:
+        staleness is bounded by the number of workers (same-round pushes)."""
+        result = run(BspPolicy())
+        for event in result.traces.pushes:
+            assert event.staleness <= CLUSTER.num_workers - 1
+
+
+class TestSsp:
+    def test_name_carries_bound(self):
+        assert SspPolicy(staleness_bound=4).name == "ssp(s=4)"
+
+    def test_bound_invariant(self):
+        bound = 2
+        result = run(SspPolicy(staleness_bound=bound))
+        progress = {w: 0 for w in range(CLUSTER.num_workers)}
+        for event in result.traces.pushes:
+            progress[event.worker_id] += 1
+            spread = max(progress.values()) - min(progress.values())
+            # A worker at most `bound` ahead may *start* another iteration,
+            # so the completed spread can reach bound + 1.
+            assert spread <= bound + 1, f"SSP bound violated: spread {spread}"
+
+    def test_bound_zero_equals_bsp_lockstep(self):
+        result = run(SspPolicy(staleness_bound=0))
+        progress = {w: 0 for w in range(CLUSTER.num_workers)}
+        for event in result.traces.pushes:
+            progress[event.worker_id] += 1
+            assert max(progress.values()) - min(progress.values()) <= 1
+
+    def test_huge_bound_equals_asp_throughput(self):
+        asp = run(AspPolicy(), seed=4)
+        ssp = run(SspPolicy(staleness_bound=10**6), seed=4)
+        assert ssp.total_iterations == asp.total_iterations
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SspPolicy(staleness_bound=-1)
+
+    def test_summary_reports_waits(self):
+        result = run(SspPolicy(staleness_bound=0))
+        assert "bound_waits" in result.policy_summary
+
+
+class TestNaiveWaiting:
+    def test_name_carries_delay(self):
+        assert NaiveWaitingPolicy(1.0).name == "naive-wait(1s)"
+
+    def test_zero_delay_equals_asp(self):
+        asp = run(AspPolicy(), seed=5)
+        naive = run(NaiveWaitingPolicy(0.0), seed=5)
+        assert naive.total_iterations == asp.total_iterations
+        assert naive.curve.final_loss == pytest.approx(asp.curve.final_loss)
+
+    def test_delay_reduces_iteration_throughput(self):
+        asp = run(AspPolicy(), seed=6, horizon=60.0)
+        naive = run(NaiveWaitingPolicy(0.5), seed=6, horizon=60.0)
+        assert naive.total_iterations < asp.total_iterations
+
+    def test_delay_reduces_staleness(self):
+        """The Section III observation: deferring pulls uncovers updates
+        — pull-time versions are fresher, so staleness at apply drops."""
+        asp = run(AspPolicy(), seed=7, horizon=80.0)
+        naive = run(NaiveWaitingPolicy(0.4), seed=7, horizon=80.0)
+        assert naive.mean_staleness < asp.mean_staleness
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveWaitingPolicy(-1.0)
+
+    def test_summary_totals_delay(self):
+        result = run(NaiveWaitingPolicy(0.5), horizon=20.0)
+        assert result.policy_summary["delay_s"] == 0.5
+        assert result.policy_summary["total_delay_s"] > 0

@@ -1,0 +1,79 @@
+"""Tests for table rendering and formatting helpers."""
+
+import pytest
+
+from repro.utils.tables import TextTable, format_bytes, format_duration
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        table = TextTable(["a", "b"])
+        table.add_row([1, "xy"])
+        out = table.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert "1" in lines[2] and "xy" in lines[2]
+
+    def test_title(self):
+        table = TextTable(["col"], title="My Table")
+        table.add_row(["v"])
+        out = table.render()
+        assert out.splitlines()[0] == "My Table"
+        assert out.splitlines()[1] == "========"
+
+    def test_column_alignment(self):
+        table = TextTable(["name", "v"])
+        table.add_row(["long-name-here", 1])
+        table.add_row(["x", 22])
+        lines = table.render().splitlines()
+        # separator column of every row lines up
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_wrong_cell_count_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_str_matches_render(self):
+        table = TextTable(["a"])
+        table.add_row([1])
+        assert str(table) == table.render()
+
+    def test_empty_table_renders_headers(self):
+        table = TextTable(["only", "headers"])
+        out = table.render()
+        assert "only" in out and "headers" in out
+
+
+class TestFormatBytes:
+    def test_terabytes_like_paper(self):
+        assert format_bytes(3.17e12) == "3.17 TB"
+        assert format_bytes(2.00e12) == "2.00 TB"
+
+    def test_small_values(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(999) == "999 B"
+
+    def test_unit_boundaries(self):
+        assert format_bytes(1000) == "1.00 KB"
+        assert format_bytes(1_000_000) == "1.00 MB"
+        assert format_bytes(1e9) == "1.00 GB"
+
+    def test_huge_value_stays_pb(self):
+        assert format_bytes(5e18).endswith("PB")
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(14.0) == "14.0s"
+
+    def test_minutes(self):
+        assert format_duration(90) == "1m30s"
+
+    def test_hours(self):
+        assert format_duration(4200) == "1h10m"
+
+    def test_zero(self):
+        assert format_duration(0) == "0.0s"

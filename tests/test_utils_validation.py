@@ -1,0 +1,76 @@
+"""Tests for validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_accepts_int_and_returns_float(self):
+        value = check_positive("x", 3)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", math.nan)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive("x", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("x", "3")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.001)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.0001)
+
+    def test_rejects_below_zero(self):
+        with pytest.raises(ValueError):
+            check_probability("p", -0.1)
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        assert check_in("mode", "a", ["a", "b"]) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="mode"):
+            check_in("mode", "c", ["a", "b"])
+
+    def test_works_with_generator(self):
+        assert check_in("n", 2, (i for i in range(3))) == 2

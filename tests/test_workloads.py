@@ -1,0 +1,100 @@
+"""Tests for workload presets and the Workload abstraction."""
+
+import pytest
+
+from repro import AspPolicy, ClusterSpec
+from repro.workloads import (
+    PAPER_WORKLOADS,
+    cifar10_workload,
+    imagenet_workload,
+    matrix_factorization_workload,
+    tiny_workload,
+)
+
+
+class TestTable1Metadata:
+    """The presets must carry the paper's Table I numbers exactly."""
+
+    def test_mf_row(self):
+        wl = matrix_factorization_workload()
+        assert wl.paper_num_parameters == 4_200_000
+        assert wl.paper_dataset_size == 100_000
+        assert wl.paper_iteration_time_s == 3.0
+        assert wl.param_wire_bytes == 4.2e6 * 4
+
+    def test_cifar_row(self):
+        wl = cifar10_workload()
+        assert wl.paper_num_parameters == 2_500_000
+        assert wl.paper_dataset_size == 50_000
+        assert wl.paper_iteration_time_s == 14.0
+        assert wl.param_wire_bytes == 2.5e6 * 4
+
+    def test_imagenet_row(self):
+        wl = imagenet_workload()
+        assert wl.paper_num_parameters == 5_900_000
+        assert wl.paper_dataset_size == 281_167
+        assert wl.paper_iteration_time_s == 70.0
+        assert wl.param_wire_bytes == 5.9e6 * 4
+
+    def test_paper_workloads_in_table_order(self):
+        names = [wl.name for wl in PAPER_WORKLOADS()]
+        assert names == ["mf", "cifar10", "imagenet"]
+
+    def test_iteration_time_matches_compute_model(self):
+        for wl in PAPER_WORKLOADS():
+            assert wl.base_compute.mean_time_s == wl.paper_iteration_time_s
+
+
+class TestConstruction:
+    def test_factories_produce_fresh_objects(self):
+        wl = tiny_workload()
+        assert wl.model_factory() is not wl.model_factory()
+        assert wl.update_rule_factory() is not wl.update_rule_factory()
+
+    def test_dataset_seeded(self):
+        wl = tiny_workload()
+        a = wl.dataset_factory(1)
+        b = wl.dataset_factory(1)
+        import numpy as np
+
+        Xa, _ = a.gather(np.arange(5))
+        Xb, _ = b.gather(np.arange(5))
+        np.testing.assert_allclose(Xa, Xb)
+
+    def test_with_overrides_replaces_fields(self):
+        wl = tiny_workload().with_overrides(batch_size=99)
+        assert wl.batch_size == 99
+        assert tiny_workload().batch_size != 99
+
+    def test_model_matches_dataset_dimensions(self):
+        """Every preset's model must accept its dataset's batches."""
+        import numpy as np
+
+        for wl in PAPER_WORKLOADS() + [tiny_workload()]:
+            dataset = wl.dataset_factory(0)
+            model = wl.model_factory()
+            params = model.init_params(np.random.default_rng(0))
+            batch = dataset.gather(np.arange(min(16, dataset.num_samples)))
+            loss = model.loss(params, batch)
+            assert loss == loss  # not NaN
+
+
+class TestBuildEngine:
+    def test_build_and_run(self):
+        cluster = ClusterSpec.homogeneous(3)
+        engine = tiny_workload().build_engine(cluster, AspPolicy(), seed=0,
+                                              horizon_s=10.0)
+        result = engine.run()
+        assert result.workload == "tiny"
+        assert result.num_workers == 3
+
+    def test_horizon_override(self):
+        cluster = ClusterSpec.homogeneous(2)
+        result = tiny_workload().run(cluster, AspPolicy(), horizon_s=5.0)
+        assert result.horizon_s == 5.0
+
+    def test_default_horizon_used(self):
+        wl = tiny_workload()
+        cluster = ClusterSpec.homogeneous(2)
+        result = wl.run(cluster, AspPolicy())
+        assert result.horizon_s == wl.default_horizon_s
