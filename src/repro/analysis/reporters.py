@@ -1,0 +1,63 @@
+"""Finding reporters: terminal text and machine-readable JSON.
+
+The JSON form round-trips through :meth:`Finding.from_dict`, so CI
+tooling can post-process results (group by rule, diff against a
+baseline) without re-running the engine.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["render_text", "render_json", "parse_json"]
+
+
+def render_text(
+    findings: Sequence[Finding], show_suppressed: bool = False
+) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    shown = [
+        f for f in findings if show_suppressed or not f.suppressed
+    ]
+    lines = [f.render() for f in shown]
+    active = [f for f in findings if not f.suppressed]
+    suppressed = len(findings) - len(active)
+    by_rule = Counter(f.rule_id for f in active)
+    if active:
+        worst = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(by_rule.items())
+        )
+        summary = (
+            f"{len(active)} finding(s) ({worst}); {suppressed} suppressed"
+        )
+    else:
+        summary = f"clean: 0 findings ({suppressed} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """JSON report with per-rule counts; inverse of :func:`parse_json`."""
+    active = [f for f in findings if not f.suppressed]
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "counts": {
+            "total": len(findings),
+            "unsuppressed": len(active),
+            "suppressed": len(findings) - len(active),
+            "by_rule": dict(
+                sorted(Counter(f.rule_id for f in active).items())
+            ),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def parse_json(text: str) -> List[Finding]:
+    """Rebuild findings from :func:`render_json` output."""
+    payload = json.loads(text)
+    return [Finding.from_dict(item) for item in payload["findings"]]

@@ -1,0 +1,68 @@
+"""Rule packs and the default registry.
+
+Three packs, one per failure class the reproduction cannot afford:
+
+* :mod:`repro.analysis.rules.determinism` — stray wall clocks, global
+  RNG, unordered-set iteration, mutable defaults, lying annotations;
+* :mod:`repro.analysis.rules.protocol` — message kinds without size
+  accounting or handlers, dead wire tags;
+* :mod:`repro.analysis.rules.concurrency` — lock-order cycles, daemonless
+  threads, un-timed queue blocking, unlocked shared state in
+  ``repro.runtime``.
+
+To add a rule: subclass :class:`repro.analysis.engine.Rule`, give it a
+unique ``rule_id``, implement ``check_module`` (per-file) or
+``check_project`` (cross-file), and append it to :func:`default_rules`.
+See ``docs/static_analysis.md`` for the full walkthrough.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.concurrency import (
+    LockOrderRule,
+    QueueTimeoutRule,
+    ThreadDaemonRule,
+    UnlockedStateRule,
+)
+from repro.analysis.rules.determinism import (
+    GlobalRngRule,
+    ImplicitOptionalRule,
+    MutableDefaultRule,
+    SetIterationRule,
+    WallClockRule,
+)
+from repro.analysis.rules.protocol import (
+    MessageCategoryRule,
+    MessageSizeRule,
+    UnhandledMessageKindRule,
+    WireTagRule,
+)
+
+__all__ = ["default_rules", "DEFAULT_RULE_CLASSES"]
+
+DEFAULT_RULE_CLASSES = (
+    # determinism
+    WallClockRule,
+    GlobalRngRule,
+    SetIterationRule,
+    MutableDefaultRule,
+    ImplicitOptionalRule,
+    # protocol exhaustiveness
+    MessageCategoryRule,
+    UnhandledMessageKindRule,
+    MessageSizeRule,
+    WireTagRule,
+    # concurrency (repro.runtime)
+    LockOrderRule,
+    ThreadDaemonRule,
+    QueueTimeoutRule,
+    UnlockedStateRule,
+)
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in DEFAULT_RULE_CLASSES]

@@ -1,0 +1,346 @@
+"""Determinism rule pack.
+
+Every paper quantity this reproduction reports is a function of the event
+timeline (DESIGN.md §2): the virtual clock and the seeded
+``repro.utils.rng`` streams are the *only* legitimate sources of time and
+randomness inside the simulation path.  One stray ``time.time()`` or
+unseeded ``np.random`` call silently decouples results from the seed; one
+iteration over an unordered ``set`` reorders events between runs.  These
+rules ban those constructs inside the deterministic zone — the packages
+listed in :data:`DETERMINISTIC_PACKAGES`.  ``repro.runtime`` is exempt by
+design: the threaded/multiprocess backends *intentionally* run on wall
+time.
+
+Two rules apply repo-wide rather than zone-only, because they bite
+anywhere: mutable default arguments (shared across calls — state leaks
+between runs) and ``None`` defaults on non-``Optional`` parameters (the
+annotation lies, and strict type checking can never be turned on).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.astutil import (
+    dotted_name,
+    import_aliases,
+    resolve_call_name,
+    resolve_name,
+)
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "DETERMINISTIC_PACKAGES",
+    "WallClockRule",
+    "GlobalRngRule",
+    "SetIterationRule",
+    "MutableDefaultRule",
+    "ImplicitOptionalRule",
+]
+
+#: Packages whose code must be a pure function of (seed, event timeline).
+#: ``repro.runtime`` is deliberately absent — it bridges to wall time.
+DETERMINISTIC_PACKAGES = (
+    "repro.events",
+    "repro.core",
+    "repro.sync",
+    "repro.ps",
+    "repro.netsim",
+)
+
+#: Calls that read a wall clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Prefixes of module-level (implicitly seeded or globally seeded) RNG APIs.
+_GLOBAL_RNG_PREFIXES = ("random.", "numpy.random.")
+
+
+def in_deterministic_zone(module: ModuleInfo) -> bool:
+    """Whether the module lives in a package the zone rules police."""
+    return any(
+        module.module == pkg or module.module.startswith(pkg + ".")
+        for pkg in DETERMINISTIC_PACKAGES
+    )
+
+
+class WallClockRule(Rule):
+    """DET-WALLCLOCK: wall-clock reads inside the deterministic zone."""
+
+    rule_id = "DET-WALLCLOCK"
+    severity = Severity.ERROR
+    description = (
+        "Wall-clock call inside the simulation path; use the virtual "
+        "clock (Simulator.now / the engine's now_fn) instead."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not in_deterministic_zone(module):
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node, aliases)
+            if name in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"wall-clock call {name}() in deterministic module "
+                    f"{module.module}; paper quantities must be functions "
+                    f"of the event timeline",
+                )
+
+
+class GlobalRngRule(Rule):
+    """DET-GLOBALRNG: global/unseeded RNG inside the deterministic zone."""
+
+    rule_id = "DET-GLOBALRNG"
+    severity = Severity.ERROR
+    description = (
+        "Module-level random API inside the simulation path; draw from a "
+        "named repro.utils.rng.RngStreams generator instead."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not in_deterministic_zone(module):
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node, aliases)
+            if name is None:
+                continue
+            if any(name.startswith(p) for p in _GLOBAL_RNG_PREFIXES):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"global RNG call {name}() in deterministic module "
+                    f"{module.module}; only repro.utils.rng streams are "
+                    f"reproducible across runs and worker counts",
+                )
+
+
+def _is_set_expression(node: ast.AST, aliases: dict) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is None:
+            return False
+        return resolve_name(name, aliases) in ("set", "frozenset")
+    return False
+
+
+class SetIterationRule(Rule):
+    """DET-SET-ITER: iterating a set in the deterministic zone.
+
+    Set iteration order depends on insertion history and hash seeding;
+    draining a set in a ``for`` loop (or comprehension) makes event order
+    run-dependent.  Wrap the set in ``sorted(...)`` to fix the order.
+    Also flags sets passed straight into ``list``/``tuple``/``enumerate``
+    inside an iteration position, which launders the same hazard.
+    """
+
+    rule_id = "DET-SET-ITER"
+    severity = Severity.ERROR
+    description = (
+        "Iteration over an unordered set in the simulation path; wrap in "
+        "sorted(...) to pin the order."
+    )
+
+    _LAUNDERERS = ("list", "tuple", "enumerate", "reversed")
+
+    def _flag_iter_expr(
+        self, module: ModuleInfo, node: ast.AST, aliases: dict
+    ) -> Iterator[Finding]:
+        if _is_set_expression(node, aliases):
+            yield self.finding(
+                module,
+                node.lineno,
+                f"iteration over an unordered set in {module.module}; "
+                f"event order must not depend on hash order — use "
+                f"sorted(...)",
+            )
+            return
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and resolve_name(name, aliases) in self._LAUNDERERS:
+                for arg in node.args:
+                    if _is_set_expression(arg, aliases):
+                        yield self.finding(
+                            module,
+                            arg.lineno,
+                            f"unordered set passed to {name}() in an "
+                            f"iteration position in {module.module}; use "
+                            f"sorted(...)",
+                        )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not in_deterministic_zone(module):
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For):
+                yield from self._flag_iter_expr(module, node.iter, aliases)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    yield from self._flag_iter_expr(
+                        module, generator.iter, aliases
+                    )
+
+
+def _iter_signature_defaults(
+    fn: ast.AST,
+) -> Iterator[Tuple[ast.arg, Optional[ast.AST]]]:
+    """Yield ``(arg, default_or_None)`` for every parameter of ``fn``."""
+    args = fn.args
+    positional = args.posonlyargs + args.args
+    defaults = [None] * (len(positional) - len(args.defaults)) + list(args.defaults)
+    for arg, default in zip(positional, defaults):
+        yield arg, default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        yield arg, default
+
+
+class MutableDefaultRule(Rule):
+    """DET-MUTABLE-DEFAULT: list/dict/set default arguments (repo-wide).
+
+    A mutable default is evaluated once at ``def`` time and shared by all
+    calls — state silently leaks across runs and across tests, the exact
+    failure mode a reproduction cannot afford.
+    """
+
+    rule_id = "DET-MUTABLE-DEFAULT"
+    severity = Severity.ERROR
+    description = "Mutable default argument; use None and create inside."
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for arg, default in _iter_signature_defaults(node):
+                if default is None:
+                    continue
+                if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                    literal = type(default).__name__.lower()
+                    yield self.finding(
+                        module,
+                        default.lineno,
+                        f"mutable default ({literal} literal) for parameter "
+                        f"{arg.arg!r} of {node.name}(); shared across calls",
+                    )
+                elif isinstance(default, ast.Call):
+                    name = dotted_name(default.func)
+                    if name is not None and resolve_name(name, aliases) in (
+                        "list",
+                        "dict",
+                        "set",
+                    ):
+                        yield self.finding(
+                            module,
+                            default.lineno,
+                            f"mutable default ({name}()) for parameter "
+                            f"{arg.arg!r} of {node.name}(); shared across "
+                            f"calls",
+                        )
+
+
+def _annotation_allows_none(annotation: ast.AST) -> bool:
+    """Whether an annotation admits ``None`` (Optional, | None, Any, ...)."""
+    if isinstance(annotation, ast.Constant):
+        if annotation.value is None:
+            return True
+        if isinstance(annotation.value, str):
+            text = annotation.value
+            return "Optional" in text or "None" in text or text in ("Any", "object")
+        return False
+    if isinstance(annotation, ast.Subscript):
+        base = dotted_name(annotation.value)
+        if base is None:
+            return False
+        tail = base.split(".")[-1]
+        if tail == "Optional":
+            return True
+        if tail == "Union":
+            elements = (
+                annotation.slice.elts
+                if isinstance(annotation.slice, ast.Tuple)
+                else [annotation.slice]
+            )
+            return any(_annotation_allows_none(e) for e in elements)
+        return False
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _annotation_allows_none(annotation.left) or _annotation_allows_none(
+            annotation.right
+        )
+    name = dotted_name(annotation)
+    if name is None:
+        return False
+    return name.split(".")[-1] in ("Any", "object", "None")
+
+
+class ImplicitOptionalRule(Rule):
+    """DET-OPTIONAL-NONE: ``None`` default under a non-Optional annotation.
+
+    Applies repo-wide, to both parameters and annotated assignments
+    (``self.engine: "TrainingEngine" = None``).  The annotation must say
+    what the value can actually be, or mypy's strict gate on
+    ``repro.core``/``repro.events`` is meaningless.
+    """
+
+    rule_id = "DET-OPTIONAL-NONE"
+    severity = Severity.ERROR
+    description = "None default on a non-Optional annotation."
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg, default in _iter_signature_defaults(node):
+                    if (
+                        default is not None
+                        and isinstance(default, ast.Constant)
+                        and default.value is None
+                        and arg.annotation is not None
+                        and not _annotation_allows_none(arg.annotation)
+                    ):
+                        yield self.finding(
+                            module,
+                            arg.lineno,
+                            f"parameter {arg.arg!r} of {node.name}() defaults "
+                            f"to None but its annotation is not Optional",
+                        )
+            elif isinstance(node, ast.AnnAssign):
+                if (
+                    node.value is not None
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value is None
+                    and not _annotation_allows_none(node.annotation)
+                ):
+                    target = dotted_name(node.target) or "<target>"
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"{target} is annotated non-Optional but assigned "
+                        f"None",
+                    )

@@ -1,0 +1,235 @@
+"""Protocol exhaustiveness rule pack.
+
+The SpecSync wire protocol lives in three places that must stay in sync:
+
+* ``repro.netsim.messages.MessageKind`` — every kind carries a transfer
+  category so the Fig. 13 byte accounting stays complete;
+* the engine/scheduler code that constructs and handles each kind — a
+  kind nobody sends or handles is dead protocol surface (or, worse, a new
+  message someone forgot to wire up);
+* the ``repro.runtime.multiprocess`` string-tagged queue protocol — the
+  server's dispatch loop raises at runtime on an unknown tag, so a tag
+  sent but not handled is a guaranteed crash that only a long soak run
+  would find.
+
+These rules cross-check all three statically, so adding a message type
+without a size category or a handler fails lint instead of an experiment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "MessageCategoryRule",
+    "UnhandledMessageKindRule",
+    "MessageSizeRule",
+    "WireTagRule",
+]
+
+#: The Fig. 13 transfer-accounting buckets.
+VALID_CATEGORIES = ("pull", "push", "control")
+
+
+def _message_kind_members(
+    class_def: ast.ClassDef,
+) -> List[Tuple[str, int, Optional[ast.AST]]]:
+    """``(member_name, lineno, value)`` for each enum-member assignment."""
+    members = []
+    for statement in class_def.body:
+        if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+            target = statement.targets[0]
+            if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                members.append((target.id, statement.lineno, statement.value))
+    return members
+
+
+def _find_message_kind(module: ModuleInfo) -> Optional[ast.ClassDef]:
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "MessageKind":
+            return node
+    return None
+
+
+class MessageCategoryRule(Rule):
+    """PROTO-CATEGORY: every MessageKind member needs a valid category.
+
+    Members must be ``(wire_name, category)`` tuples with the category in
+    :data:`VALID_CATEGORIES` — otherwise the transfer ledger would file
+    the kind's bytes under an unknown bucket (or not at all) and the
+    Fig. 12/13 accounting silently loses traffic.
+    """
+
+    rule_id = "PROTO-CATEGORY"
+    severity = Severity.ERROR
+    description = (
+        "MessageKind member without a (wire_name, category) tuple in the "
+        "pull/push/control buckets."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        class_def = _find_message_kind(module)
+        if class_def is None:
+            return
+        for name, lineno, value in _message_kind_members(class_def):
+            if not isinstance(value, ast.Tuple) or len(value.elts) != 2:
+                yield self.finding(
+                    module,
+                    lineno,
+                    f"MessageKind.{name} must be a (wire_name, category) "
+                    f"2-tuple so its bytes are accounted",
+                )
+                continue
+            category = value.elts[1]
+            if (
+                not isinstance(category, ast.Constant)
+                or category.value not in VALID_CATEGORIES
+            ):
+                got = (
+                    repr(category.value)
+                    if isinstance(category, ast.Constant)
+                    else "a non-literal"
+                )
+                yield self.finding(
+                    module,
+                    lineno,
+                    f"MessageKind.{name} category is {got}; must be one of "
+                    f"{'/'.join(VALID_CATEGORIES)} (Fig. 13 buckets)",
+                )
+
+
+class UnhandledMessageKindRule(Rule):
+    """PROTO-UNHANDLED: a MessageKind no code ever references.
+
+    Every kind must appear as ``MessageKind.<NAME>`` somewhere outside its
+    definition — the send site or the handler.  A kind with no reference
+    is either dead protocol surface or a message that cannot be produced
+    or consumed.
+    """
+
+    rule_id = "PROTO-UNHANDLED"
+    severity = Severity.ERROR
+    description = "MessageKind member never sent or handled anywhere."
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo]
+    ) -> Iterator[Finding]:
+        used: Set[str] = set()
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Attribute):
+                    base = dotted_name(node.value)
+                    if base is not None and base.split(".")[-1] == "MessageKind":
+                        used.add(node.attr)
+        for module in modules:
+            class_def = _find_message_kind(module)
+            if class_def is None:
+                continue
+            for name, lineno, _value in _message_kind_members(class_def):
+                if name not in used:
+                    yield self.finding(
+                        module,
+                        lineno,
+                        f"MessageKind.{name} is defined but never sent or "
+                        f"handled by any module",
+                    )
+
+
+class MessageSizeRule(Rule):
+    """PROTO-SIZE: every Message construction must state its wire size.
+
+    ``Message(...)`` without ``size_bytes`` would default nothing — the
+    dataclass requires it — but a refactor that adds a default would make
+    unaccounted zero-byte traffic invisible.  Requiring the keyword (or a
+    full positional form) at every call site keeps byte accounting
+    explicit and lintable.
+    """
+
+    rule_id = "PROTO-SIZE"
+    severity = Severity.ERROR
+    description = "Message(...) constructed without an explicit size_bytes."
+
+    #: kind, src, dst, size_bytes — the positional prefix of Message.
+    _POSITIONAL_SIZE_INDEX = 4
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.split(".")[-1] != "Message":
+                continue
+            has_size = len(node.args) >= self._POSITIONAL_SIZE_INDEX or any(
+                kw.arg == "size_bytes" for kw in node.keywords
+            )
+            if not has_size:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "Message(...) without an explicit size_bytes; every "
+                    "wire message must be byte-accounted",
+                )
+
+
+class WireTagRule(Rule):
+    """PROTO-WIRE-TAG: request-queue tags the server loop never dispatches.
+
+    The multiprocess backend speaks a string-tagged tuple protocol over
+    ``request_queue``; the server's loop compares the tag against known
+    strings and raises on anything else.  This rule collects every tag
+    pushed onto a ``*request*`` queue and every string the module compares
+    a variable against, and flags sent-but-never-compared tags.
+    """
+
+    rule_id = "PROTO-WIRE-TAG"
+    severity = Severity.ERROR
+    description = "Queue message tag sent but not handled by any dispatch."
+
+    @staticmethod
+    def _receiver_base_name(func: ast.AST) -> Optional[str]:
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        if isinstance(value, ast.Subscript):
+            value = value.value
+        name = dotted_name(value)
+        return name.split(".")[-1] if name else None
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        sent: Dict[str, int] = {}
+        handled: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("put", "put_nowait") and node.args:
+                    base = self._receiver_base_name(node.func)
+                    if base is not None and "request" in base.lower():
+                        payload = node.args[0]
+                        if (
+                            isinstance(payload, ast.Tuple)
+                            and payload.elts
+                            and isinstance(payload.elts[0], ast.Constant)
+                            and isinstance(payload.elts[0].value, str)
+                        ):
+                            tag = payload.elts[0].value
+                            sent.setdefault(tag, node.lineno)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for operand in operands:
+                    if isinstance(operand, ast.Constant) and isinstance(
+                        operand.value, str
+                    ):
+                        handled.add(operand.value)
+        for tag in sorted(sent):
+            if tag not in handled:
+                yield self.finding(
+                    module,
+                    sent[tag],
+                    f"wire tag {tag!r} is put on a request queue but no "
+                    f"dispatch in {module.module} compares against it; the "
+                    f"server loop will raise at runtime",
+                )

@@ -6,6 +6,7 @@ Four subcommands::
     repro run --workload mf --scheme adaptive --workers 40
     repro compare --workload cifar10 --schemes original adaptive
     repro experiment fig8               # regenerate a paper table/figure
+    repro lint [--format json] [paths…] # codebase-specific static analysis
 
 Every experiment the benchmark harness runs is reachable from here, so the
 paper's evaluation can be regenerated without pytest.
@@ -15,8 +16,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional
+
+import repro
+from repro.analysis import render_json, render_text, run_lint
 
 from repro.cluster.spec import ClusterSpec
 from repro.experiments import (
@@ -114,6 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("--scale", choices=["full", "smoke"],
                             default="full")
     exp_parser.add_argument("--seed", type=int, default=3)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the repro-specific static-analysis suite "
+             "(determinism, protocol exhaustiveness, concurrency)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    lint_parser.add_argument("--format", choices=["text", "json"],
+                             default="text")
+    lint_parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print findings waived by # repro: allow[...] comments",
+    )
     return parser
 
 
@@ -251,6 +272,21 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    paths = args.paths or [os.path.dirname(os.path.abspath(repro.__file__))]
+    try:
+        findings = run_lint(paths)
+    except FileNotFoundError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings, show_suppressed=args.show_suppressed))
+    unsuppressed = [f for f in findings if not f.suppressed]
+    return 1 if unsuppressed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -261,6 +297,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -239,8 +239,10 @@ class AdaptiveTuner(HyperparamTuner):
         return None
 
     def retune(self, trace: EpochTrace) -> Optional[SpecSyncHyperparams]:
-        started = _time.perf_counter()
+        # Table II reports the *real* CPU cost of Algorithm 1's scan; this
+        # measurement feeds no simulated quantity, so wall time is correct.
+        started = _time.perf_counter()  # repro: allow[DET-WALLCLOCK] Table II cost probe
         hyperparams = tune_hyperparams(trace, self.max_candidates)
-        self.total_tuning_wall_s += _time.perf_counter() - started
+        self.total_tuning_wall_s += _time.perf_counter() - started  # repro: allow[DET-WALLCLOCK] Table II cost probe
         self.history.append(hyperparams)
         return hyperparams

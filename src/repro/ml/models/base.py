@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -47,13 +47,13 @@ class Model(abc.ABC):
         batch: Batch,
         epsilon: float = 1e-6,
         sample_size: int = 24,
-        rng: np.random.Generator = None,
+        rng: Optional[np.random.Generator] = None,
         rtol: float = 1e-4,
     ) -> float:
         """Finite-difference check; returns the max relative error over a
         random sample of coordinates.  Test helper — not used in training.
         """
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else np.random.default_rng(0)
         _, grad = self.loss_and_grad(params, batch)
         vector = params.to_vector()
         # Align the gradient to the *parameter* key order — implementations

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.ps.engine import TrainingEngine
@@ -43,7 +43,8 @@ class SyncPolicy(abc.ABC):
     """
 
     def __init__(self):
-        self.engine: "TrainingEngine" = None
+        # Bound by the engine before the run starts (see ``bind``).
+        self.engine: Optional["TrainingEngine"] = None
 
     @property
     @abc.abstractmethod

@@ -49,6 +49,7 @@ def _server_main(initial_params, update_rule, request_queue, response_queues,
         kind = message[0]
         if kind == "pull":
             _, worker_id = message
+            # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
             response_queues[worker_id].put(("params", params.copy(), version))
         elif kind == "push":
             _, worker_id, gradient, snapshot_version = message
@@ -56,9 +57,11 @@ def _server_main(initial_params, update_rule, request_queue, response_queues,
             staleness_count += 1
             update_rule.apply(params, gradient)
             version += 1
+            # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
             response_queues[worker_id].put(("ack", version))
         elif kind == "stats":
             mean = staleness_sum / staleness_count if staleness_count else 0.0
+            # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
             stats_reply_queue.put(("stats", version, mean, params.copy()))
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown server message {kind!r}")
@@ -78,6 +81,7 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
     aborts = 0
 
     def pull():
+        # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
         request_queue.put(("pull", worker_id))
         while True:
             try:
@@ -113,6 +117,7 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
         if stop_event.is_set() or snapshot is None:
             break
         _, gradient = model.loss_and_grad(snapshot, batch)
+        # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
         request_queue.put(("push", worker_id, gradient, version))
         while True:
             try:
@@ -124,7 +129,9 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
             assert kind == "ack"
             break
         iterations += 1
+        # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
         notify_queue.put((worker_id, iterations))
+    # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
     stats_queue.put((worker_id, iterations, aborts))
 
 

@@ -1,0 +1,214 @@
+"""Fixture tests for the determinism rule pack.
+
+Each known-bad snippet fires its rule exactly once; the matching known-good
+snippet stays silent; a suppression comment downgrades the bad one.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source
+
+ZONE = "repro.events.fixture"
+
+
+def unsuppressed(source, module=ZONE):
+    return [f for f in lint_source(source, module=module) if not f.suppressed]
+
+
+def only_rule(source, rule_id, module=ZONE):
+    findings = unsuppressed(source, module=module)
+    assert [f.rule_id for f in findings] == [rule_id], findings
+    return findings[0]
+
+
+# ----------------------------------------------------------------------
+# DET-WALLCLOCK
+# ----------------------------------------------------------------------
+def test_wallclock_direct_call_fires_once():
+    finding = only_rule(
+        "import time\n\ndef f():\n    return time.monotonic()\n",
+        "DET-WALLCLOCK",
+    )
+    assert finding.line == 4
+    assert "time.monotonic" in finding.message
+
+
+def test_wallclock_resolves_import_aliases():
+    only_rule(
+        "import time as _t\n\ndef f():\n    return _t.perf_counter()\n",
+        "DET-WALLCLOCK",
+    )
+    only_rule(
+        "from datetime import datetime\n\ndef f():\n    return datetime.now()\n",
+        "DET-WALLCLOCK",
+    )
+
+
+def test_wallclock_allows_virtual_clock_use():
+    assert unsuppressed(
+        "def f(sim):\n    return sim.now\n"
+    ) == []
+
+
+@pytest.mark.parametrize(
+    "package", ["repro.core.x", "repro.sync.x", "repro.ps.x", "repro.netsim.x"]
+)
+def test_wallclock_covers_every_zone_package(package):
+    only_rule(
+        "import time\n\ndef f():\n    return time.time()\n",
+        "DET-WALLCLOCK",
+        module=package,
+    )
+
+
+def test_wallclock_exempts_runtime_and_ml():
+    bad = "import time\n\ndef f():\n    return time.time()\n"
+    assert unsuppressed(bad, module="repro.runtime.threaded") == []
+    assert unsuppressed(bad, module="repro.ml.models.base") == []
+
+
+# ----------------------------------------------------------------------
+# DET-GLOBALRNG
+# ----------------------------------------------------------------------
+def test_global_rng_numpy_alias_fires_once():
+    finding = only_rule(
+        "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n",
+        "DET-GLOBALRNG",
+    )
+    assert "numpy.random.default_rng" in finding.message
+
+
+def test_global_rng_stdlib_random_fires():
+    only_rule(
+        "import random\n\ndef f():\n    return random.random()\n",
+        "DET-GLOBALRNG",
+    )
+
+
+def test_global_rng_allows_stream_generators():
+    assert (
+        unsuppressed(
+            "def f(rng):\n    return rng.normal()\n"
+        )
+        == []
+    )
+
+
+def test_global_rng_suppression():
+    source = (
+        "import numpy as np\n\ndef f():\n"
+        "    return np.random.default_rng()  # repro: allow[DET-GLOBALRNG] fixture\n"
+    )
+    assert unsuppressed(source) == []
+
+
+# ----------------------------------------------------------------------
+# DET-SET-ITER
+# ----------------------------------------------------------------------
+def test_set_iteration_fires_once():
+    finding = only_rule(
+        "def f(xs):\n    for x in set(xs):\n        print(x)\n",
+        "DET-SET-ITER",
+    )
+    assert finding.line == 2
+
+
+def test_set_literal_and_comprehension_iteration_fire():
+    only_rule("def f():\n    for x in {1, 2}:\n        pass\n", "DET-SET-ITER")
+    only_rule(
+        "def f(xs):\n    return [x for x in {x for x in xs}]\n",
+        "DET-SET-ITER",
+    )
+
+
+def test_set_iteration_through_list_launder_fires():
+    only_rule(
+        "def f(xs):\n    for x in list(set(xs)):\n        pass\n",
+        "DET-SET-ITER",
+    )
+
+
+def test_sorted_set_iteration_is_clean():
+    assert unsuppressed(
+        "def f(xs):\n    for x in sorted(set(xs)):\n        pass\n"
+    ) == []
+
+
+def test_set_membership_test_is_clean():
+    assert unsuppressed(
+        "def f(xs, y):\n    return y in set(xs)\n"
+    ) == []
+
+
+# ----------------------------------------------------------------------
+# DET-MUTABLE-DEFAULT (repo-wide)
+# ----------------------------------------------------------------------
+def test_mutable_default_fires_everywhere():
+    finding = only_rule(
+        "def f(xs=[]):\n    return xs\n",
+        "DET-MUTABLE-DEFAULT",
+        module="repro.experiments.fixture",
+    )
+    assert "'xs'" in finding.message
+
+
+def test_mutable_default_call_and_kwonly_forms():
+    only_rule(
+        "def f(*, acc=dict()):\n    return acc\n",
+        "DET-MUTABLE-DEFAULT",
+        module="repro.utils.fixture",
+    )
+
+
+def test_none_default_is_clean():
+    assert unsuppressed(
+        "def f(xs=None):\n    return xs or []\n",
+        module="repro.utils.fixture",
+    ) == []
+
+
+# ----------------------------------------------------------------------
+# DET-OPTIONAL-NONE (repo-wide)
+# ----------------------------------------------------------------------
+def test_implicit_optional_parameter_fires_once():
+    finding = only_rule(
+        "def f(x: int = None):\n    return x\n",
+        "DET-OPTIONAL-NONE",
+        module="repro.metrics.fixture",
+    )
+    assert "'x'" in finding.message
+
+
+def test_implicit_optional_annotated_attribute_fires():
+    source = textwrap.dedent(
+        """\
+        class C:
+            def __init__(self):
+                self.engine: "Engine" = None
+        """
+    )
+    only_rule(source, "DET-OPTIONAL-NONE", module="repro.metrics.fixture")
+
+
+@pytest.mark.parametrize(
+    "annotation",
+    [
+        "Optional[int]",
+        "typing.Optional[int]",
+        '"Optional[int]"',
+        "Union[int, None]",
+        "Any",
+    ],
+)
+def test_optional_annotations_are_clean(annotation):
+    source = f"def f(x: {annotation} = None):\n    return x\n"
+    assert unsuppressed(source, module="repro.metrics.fixture") == []
+
+
+def test_pipe_none_annotation_is_clean():
+    assert unsuppressed(
+        "def f(x: int | None = None):\n    return x\n",
+        module="repro.metrics.fixture",
+    ) == []

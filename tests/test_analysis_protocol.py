@@ -1,0 +1,218 @@
+"""Fixture tests for the protocol-exhaustiveness rule pack."""
+
+import textwrap
+
+from repro.analysis import LintEngine, lint_source
+from repro.analysis.engine import module_from_source
+
+GOOD_KINDS = textwrap.dedent(
+    """\
+    import enum
+
+    class MessageKind(enum.Enum):
+        PULL = ("pull", "pull")
+        PUSH = ("push", "push")
+
+        def __init__(self, wire_name, category):
+            self.wire_name = wire_name
+            self.category = category
+    """
+)
+
+USER_MODULE = textwrap.dedent(
+    """\
+    from repro.netsim.messages import MessageKind
+
+    def handle(kind):
+        return kind in (MessageKind.PULL, MessageKind.PUSH)
+    """
+)
+
+
+def unsuppressed(source, module="repro.netsim.fixture"):
+    return [f for f in lint_source(source, module=module) if not f.suppressed]
+
+
+def project_findings(*sources_and_names):
+    modules = [
+        module_from_source(src, module=name, path=f"<{name}>")
+        for src, name in sources_and_names
+    ]
+    return [
+        f for f in LintEngine().lint_modules(modules) if not f.suppressed
+    ]
+
+
+# ----------------------------------------------------------------------
+# PROTO-CATEGORY
+# ----------------------------------------------------------------------
+def test_bad_category_fires_once():
+    bad = GOOD_KINDS.replace('("push", "push")', '("push", "gradient")')
+    findings = [
+        f for f in project_findings((bad, "repro.netsim.fixture"), (USER_MODULE, "repro.ps.fixture"))
+        if f.rule_id == "PROTO-CATEGORY"
+    ]
+    assert len(findings) == 1
+    assert "'gradient'" in findings[0].message
+
+
+def test_member_without_tuple_fires():
+    bad = GOOD_KINDS.replace('("push", "push")', '"push"')
+    findings = [
+        f for f in project_findings((bad, "repro.netsim.fixture"), (USER_MODULE, "repro.ps.fixture"))
+        if f.rule_id == "PROTO-CATEGORY"
+    ]
+    assert len(findings) == 1
+    assert "2-tuple" in findings[0].message
+
+
+def test_category_suppression_silences():
+    bad = GOOD_KINDS.replace(
+        '("push", "gradient")', '("push", "gradient")'
+    ).replace(
+        'PUSH = ("push", "push")',
+        'PUSH = ("push", "gradient")  # repro: allow[PROTO-CATEGORY] fixture',
+    )
+    findings = [
+        f for f in project_findings((bad, "repro.netsim.fixture"), (USER_MODULE, "repro.ps.fixture"))
+        if f.rule_id == "PROTO-CATEGORY"
+    ]
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# PROTO-UNHANDLED
+# ----------------------------------------------------------------------
+def test_unreferenced_kind_fires_once():
+    kinds = GOOD_KINDS.replace(
+        'PUSH = ("push", "push")',
+        'PUSH = ("push", "push")\n    EVICT = ("evict", "control")',
+    )
+    findings = [
+        f for f in project_findings((kinds, "repro.netsim.fixture"), (USER_MODULE, "repro.ps.fixture"))
+        if f.rule_id == "PROTO-UNHANDLED"
+    ]
+    assert len(findings) == 1
+    assert "MessageKind.EVICT" in findings[0].message
+
+
+def test_all_kinds_referenced_is_clean():
+    findings = [
+        f for f in project_findings((GOOD_KINDS, "repro.netsim.fixture"), (USER_MODULE, "repro.ps.fixture"))
+        if f.rule_id == "PROTO-UNHANDLED"
+    ]
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# PROTO-SIZE
+# ----------------------------------------------------------------------
+def test_message_without_size_bytes_fires_once():
+    source = textwrap.dedent(
+        """\
+        from repro.netsim.messages import Message, MessageKind
+
+        def send(net):
+            net.send(Message(kind=MessageKind.PULL, src="w", dst="s"))
+        """
+    )
+    findings = [
+        f for f in unsuppressed(source, module="repro.ps.fixture")
+        if f.rule_id == "PROTO-SIZE"
+    ]
+    assert len(findings) == 1
+
+
+def test_message_with_size_bytes_is_clean():
+    source = textwrap.dedent(
+        """\
+        from repro.netsim.messages import Message, MessageKind
+
+        def send(net):
+            net.send(
+                Message(kind=MessageKind.PULL, src="w", dst="s", size_bytes=64)
+            )
+        """
+    )
+    assert [
+        f for f in unsuppressed(source, module="repro.ps.fixture")
+        if f.rule_id == "PROTO-SIZE"
+    ] == []
+
+
+def test_message_with_full_positional_prefix_is_clean():
+    source = textwrap.dedent(
+        """\
+        from repro.netsim.messages import Message, MessageKind
+
+        def send(net):
+            net.send(Message(MessageKind.PULL, "w", "s", 64.0))
+        """
+    )
+    assert [
+        f for f in unsuppressed(source, module="repro.ps.fixture")
+        if f.rule_id == "PROTO-SIZE"
+    ] == []
+
+
+# ----------------------------------------------------------------------
+# PROTO-WIRE-TAG
+# ----------------------------------------------------------------------
+def test_unhandled_wire_tag_fires_once():
+    source = textwrap.dedent(
+        """\
+        def worker(request_queue):
+            request_queue.put(("evict", 3), timeout=1.0)
+
+        def server(message):
+            kind = message[0]
+            if kind == "pull":
+                return "ok"
+        """
+    )
+    findings = [
+        f for f in unsuppressed(source, module="repro.runtime.fixture")
+        if f.rule_id == "PROTO-WIRE-TAG"
+    ]
+    assert len(findings) == 1
+    assert "'evict'" in findings[0].message
+
+
+def test_handled_wire_tag_is_clean():
+    source = textwrap.dedent(
+        """\
+        def worker(request_queue):
+            request_queue.put(("pull", 3), timeout=1.0)
+
+        def server(message):
+            kind = message[0]
+            if kind == "pull":
+                return "ok"
+        """
+    )
+    assert [
+        f for f in unsuppressed(source, module="repro.runtime.fixture")
+        if f.rule_id == "PROTO-WIRE-TAG"
+    ] == []
+
+
+# ----------------------------------------------------------------------
+# The real protocol layer passes all four rules
+# ----------------------------------------------------------------------
+def test_real_protocol_modules_are_clean():
+    import repro.core.specsync as specsync
+    import repro.netsim.messages as messages
+    import repro.ps.engine as engine
+    import repro.runtime.multiprocess as multiprocess
+    from repro.analysis.engine import load_module
+
+    modules = [
+        load_module(m.__file__)
+        for m in (messages, engine, specsync, multiprocess)
+    ]
+    findings = [
+        f
+        for f in LintEngine().lint_modules(modules)
+        if f.rule_id.startswith("PROTO-") and not f.suppressed
+    ]
+    assert findings == []
