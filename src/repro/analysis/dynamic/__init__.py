@@ -1,0 +1,96 @@
+"""Runtime sanitizers cross-checked against the static rule packs.
+
+Where :mod:`repro.analysis` reads the source, this package watches the
+program *run*:
+
+* :mod:`~repro.analysis.dynamic.trace` / :mod:`~repro.analysis.dynamic.locks`
+  — traced lock wrappers and the shims that install them into the
+  runtime backends, recording every acquire/release per thread.
+* :mod:`~repro.analysis.dynamic.lockorder` — the observed
+  lock-acquisition-order graph, cycle detection, and the diff against
+  the static ``CONC-LOCK-ORDER`` graph.
+* :mod:`~repro.analysis.dynamic.lockset` — an Eraser-style lockset race
+  detector over exactly the fields the static ``CONC-UNLOCKED-STATE``
+  rule considers guarded.
+* :mod:`~repro.analysis.dynamic.replay` — the replay-determinism
+  sanitizer: same-seed DES runs must produce identical event streams.
+* :mod:`~repro.analysis.dynamic.sanitize` — the orchestrator behind the
+  ``repro sanitize`` CLI command.
+
+Findings reuse the static suite's
+:class:`~repro.analysis.findings.Finding`, under dynamic rule ids
+(``DYN-LOCK-CYCLE``, ``DYN-LOCK-HELD-AT-EXIT``, ``DYN-STATIC-LOCK-GAP``,
+``DYN-LOCKSET-RACE``, ``DYN-REPLAY-DIVERGENCE``), so the existing
+reporters and CI gates apply unchanged.
+"""
+
+from repro.analysis.dynamic.lockorder import (
+    GraphDiff,
+    ObservedLockGraph,
+    cycle_findings,
+    diff_graphs,
+    held_at_exit_findings,
+    load_static_runtime_graph,
+    observed_lock_graph,
+    static_gap_findings,
+)
+from repro.analysis.dynamic.locks import (
+    TracedLock,
+    TracedRLock,
+    TracingMpShim,
+    TracingThreadingShim,
+    infer_lock_name,
+    traced_runtime_locks,
+)
+from repro.analysis.dynamic.lockset import (
+    LocksetMonitor,
+    unwatch,
+    watch_from_static,
+    watch_guarded_state,
+)
+from repro.analysis.dynamic.replay import (
+    EventFingerprint,
+    ReplayReport,
+    check_replay,
+    record_event_stream,
+)
+from repro.analysis.dynamic.sanitize import (
+    SanitizeReport,
+    build_threaded_run,
+    des_scenario,
+    run_sanitizers,
+)
+from repro.analysis.dynamic.trace import LockEvent, LockTrace, ResourceNote, call_site
+
+__all__ = [
+    "LockEvent",
+    "LockTrace",
+    "ResourceNote",
+    "call_site",
+    "TracedLock",
+    "TracedRLock",
+    "TracingThreadingShim",
+    "TracingMpShim",
+    "infer_lock_name",
+    "traced_runtime_locks",
+    "ObservedLockGraph",
+    "GraphDiff",
+    "observed_lock_graph",
+    "cycle_findings",
+    "held_at_exit_findings",
+    "load_static_runtime_graph",
+    "diff_graphs",
+    "static_gap_findings",
+    "LocksetMonitor",
+    "watch_guarded_state",
+    "watch_from_static",
+    "unwatch",
+    "EventFingerprint",
+    "ReplayReport",
+    "record_event_stream",
+    "check_replay",
+    "SanitizeReport",
+    "run_sanitizers",
+    "build_threaded_run",
+    "des_scenario",
+]

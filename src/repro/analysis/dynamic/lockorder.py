@@ -1,0 +1,211 @@
+"""The runtime lock-order oracle: observed graph, cycles, static diff.
+
+Builds the lock-acquisition-order graph actually *observed* during an
+instrumented run (edge ``A -> B`` whenever a thread acquired B while
+holding A), finds cycles in it, and diffs it against the static
+``CONC-LOCK-ORDER`` graph built by
+:func:`repro.analysis.rules.concurrency.build_lock_order_graph`.
+
+Diff semantics:
+
+* **observed-only** edges (the runtime took an ordering the static pass
+  never derived) become ``DYN-STATIC-LOCK-GAP`` warnings — the static
+  rule has a blind spot worth closing.
+* **static-only** edges (derived but never exercised) are *reported*, not
+  findings: the static pass deliberately over-approximates (it follows
+  calls one level deep whether or not they happen), so unexercised edges
+  are expected on any finite run and must not fail a clean sanitize.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.engine import load_module
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.graphs import find_cycles
+from repro.analysis.rules.concurrency import StaticLockGraph, build_lock_order_graph
+from repro.analysis.dynamic.trace import ACQUIRE, LockTrace
+
+__all__ = [
+    "ObservedLockGraph",
+    "GraphDiff",
+    "observed_lock_graph",
+    "cycle_findings",
+    "held_at_exit_findings",
+    "load_static_runtime_graph",
+    "diff_graphs",
+    "static_gap_findings",
+]
+
+DYN_LOCK_CYCLE = "DYN-LOCK-CYCLE"
+DYN_LOCK_HELD_AT_EXIT = "DYN-LOCK-HELD-AT-EXIT"
+DYN_STATIC_LOCK_GAP = "DYN-STATIC-LOCK-GAP"
+
+
+@dataclass
+class ObservedLockGraph:
+    """Lock-order edges actually taken at runtime.
+
+    ``edges[src][dst]`` keeps the first witness ``(path, line)`` where a
+    thread acquired ``dst`` while holding ``src`` — the same shape as the
+    static graph so both feed :func:`repro.analysis.graphs.find_cycles`
+    and diff cleanly.
+    """
+
+    edges: Dict[str, Dict[str, Tuple[str, int]]] = field(default_factory=dict)
+
+    def edge_pairs(self) -> Set[Tuple[str, str]]:
+        """The ``(src, dst)`` pairs, without witnesses."""
+        return {(src, dst) for src, dsts in self.edges.items() for dst in dsts}
+
+
+def observed_lock_graph(trace: LockTrace) -> ObservedLockGraph:
+    """Derive the observed acquisition-order graph from a trace.
+
+    Each acquire event carries the acquiring thread's held-set, captured
+    atomically by the trace, so every ``held -> acquired`` pair is a real
+    runtime ordering.  Self-edges (an RLock re-entered while held) are
+    skipped, matching the static graph's treatment of reentrant locks.
+    """
+    graph = ObservedLockGraph()
+    for event in trace.events():
+        if event.action != ACQUIRE:
+            continue
+        for holder in event.held_before:
+            if holder != event.lock:
+                graph.edges.setdefault(holder, {}).setdefault(
+                    event.lock, (event.path, event.line)
+                )
+    return graph
+
+
+def cycle_findings(graph: ObservedLockGraph) -> List[Finding]:
+    """``DYN-LOCK-CYCLE`` findings: cycles the runtime actually exercised.
+
+    Unlike the static rule these carry no over-approximation — both
+    directions of each edge were genuinely taken by live threads, so a
+    cycle here is a deadlock waiting on unlucky timing.
+    """
+    findings = []
+    for cycle in find_cycles(graph.edges):
+        first, second = cycle[0], cycle[1 % len(cycle)]
+        path, line = graph.edges[first][second]
+        chain = " -> ".join(cycle + (cycle[0],))
+        findings.append(
+            Finding(
+                rule_id=DYN_LOCK_CYCLE,
+                severity=Severity.ERROR,
+                path=path,
+                line=line,
+                message=(
+                    f"runtime lock-order cycle {chain}; threads acquired "
+                    f"these locks in opposite orders during this run"
+                ),
+            )
+        )
+    return findings
+
+
+def held_at_exit_findings(trace: LockTrace) -> List[Finding]:
+    """``DYN-LOCK-HELD-AT-EXIT`` warnings: locks still held when the run ended.
+
+    A lock held after all workers joined usually means a missed release on
+    an error path.  Each finding is anchored at the site of the dangling
+    acquire (the last acquire of that lock in the trace).
+    """
+    held = trace.held_by_thread()
+    if not held:
+        return []
+    last_acquire: Dict[str, Tuple[str, int]] = {}
+    for event in trace.events():
+        if event.action == ACQUIRE:
+            last_acquire[event.lock] = (event.path, event.line)
+    findings = []
+    for thread_name in sorted(held):
+        for lock in held[thread_name]:
+            path, line = last_acquire.get(lock, ("<unknown>", 1))
+            findings.append(
+                Finding(
+                    rule_id=DYN_LOCK_HELD_AT_EXIT,
+                    severity=Severity.WARNING,
+                    path=path,
+                    line=line,
+                    message=(
+                        f"lock {lock} still held by thread {thread_name!r} "
+                        f"at the end of the instrumented run (missed release?)"
+                    ),
+                )
+            )
+    return findings
+
+
+def load_static_runtime_graph(
+    runtime_dir: Optional[str] = None,
+) -> StaticLockGraph:
+    """The static ``CONC-LOCK-ORDER`` graph of the runtime package.
+
+    Parses the :mod:`repro.runtime` sources from disk (or ``runtime_dir``
+    when given) and runs the same graph builder the static rule uses, so
+    the diff compares against exactly what ``repro lint`` sees.
+    """
+    if runtime_dir is None:
+        import repro.runtime
+
+        runtime_dir = os.path.dirname(os.path.abspath(repro.runtime.__file__))
+    modules = [
+        load_module(os.path.join(runtime_dir, name))
+        for name in sorted(os.listdir(runtime_dir))
+        if name.endswith(".py")
+    ]
+    return build_lock_order_graph(modules)
+
+
+@dataclass
+class GraphDiff:
+    """The observed-vs-static edge comparison."""
+
+    #: edges the runtime took that the static graph lacks, with witnesses
+    observed_only: List[Tuple[str, str, str, int]] = field(default_factory=list)
+    #: edges the static pass derived but this run never exercised
+    static_only: List[Tuple[str, str]] = field(default_factory=list)
+    #: edges present in both graphs
+    common: List[Tuple[str, str]] = field(default_factory=list)
+
+
+def diff_graphs(observed: ObservedLockGraph, static: StaticLockGraph) -> GraphDiff:
+    """Diff the observed edges against the static edges, both directions."""
+    observed_pairs = observed.edge_pairs()
+    static_pairs = static.edge_pairs()
+    diff = GraphDiff()
+    for src, dst in sorted(observed_pairs - static_pairs):
+        path, line = observed.edges[src][dst]
+        diff.observed_only.append((src, dst, path, line))
+    diff.static_only = sorted(static_pairs - observed_pairs)
+    diff.common = sorted(observed_pairs & static_pairs)
+    return diff
+
+
+def static_gap_findings(diff: GraphDiff) -> List[Finding]:
+    """``DYN-STATIC-LOCK-GAP`` warnings for edges only the runtime saw.
+
+    Every observed-only edge means the static one-call-deep analysis
+    missed a real acquisition ordering — a gap in its coverage that could
+    hide a future cycle.
+    """
+    return [
+        Finding(
+            rule_id=DYN_STATIC_LOCK_GAP,
+            severity=Severity.WARNING,
+            path=path,
+            line=line,
+            message=(
+                f"runtime took lock-order edge {src} -> {dst} that the "
+                f"static CONC-LOCK-ORDER graph does not contain; the "
+                f"static analysis has a blind spot here"
+            ),
+        )
+        for src, dst, path, line in diff.observed_only
+    ]

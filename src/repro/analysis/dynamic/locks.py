@@ -1,0 +1,220 @@
+"""Traced lock wrappers and the runtime patch shims.
+
+:class:`TracedLock`/:class:`TracedRLock` are drop-in replacements for
+``threading.Lock``/``threading.RLock`` that record every acquire/release
+into a :class:`~repro.analysis.dynamic.trace.LockTrace`.  The shims plug
+into the opt-in hooks the runtime backends expose
+(:func:`repro.runtime.threaded.install_threading_shim`,
+:func:`repro.runtime.multiprocess.install_mp_shim`) so an instrumented
+run traces every lock the runtime creates without a single source change
+in the runtime itself.
+
+Lock naming matters: the static ``CONC-LOCK-ORDER`` pass names locks
+``module.Class.attr`` / ``module.var``, and the observed graph is diffed
+against the static one, so :func:`infer_lock_name` reconstructs the same
+qualified name from the construction site (caller module, enclosing
+``self``, and the assignment target parsed off the source line).
+"""
+
+from __future__ import annotations
+
+import linecache
+import re
+import sys
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.analysis.dynamic.trace import LockTrace, call_site
+
+__all__ = [
+    "TracedLock",
+    "TracedRLock",
+    "TracingThreadingShim",
+    "TracingMpShim",
+    "infer_lock_name",
+    "traced_runtime_locks",
+]
+
+_ASSIGN_RE = re.compile(r"(?:self\.)?(\w+)\s*=[^=]")
+
+
+def infer_lock_name(frame) -> str:
+    """The qualified name of a lock constructed at ``frame``'s current line.
+
+    Combines the caller's module name, the class of a local ``self`` (when
+    construction happens inside a method), and the assignment target read
+    from the source line — so ``self._lock = threading.Lock()`` inside
+    ``ThreadedParameterServer.__init__`` yields
+    ``repro.runtime.threaded.ThreadedParameterServer._lock``, exactly the
+    name the static lock-order graph uses.  Falls back to a
+    ``<lock@line>`` placeholder when the line cannot be parsed.
+    """
+    module = frame.f_globals.get("__name__", "<unknown>")
+    line_text = linecache.getline(frame.f_code.co_filename, frame.f_lineno).strip()
+    match = _ASSIGN_RE.match(line_text)
+    attr = match.group(1) if match else f"<lock@{frame.f_lineno}>"
+    owner = frame.f_locals.get("self")
+    if owner is not None and line_text.startswith("self."):
+        return f"{module}.{type(owner).__name__}.{attr}"
+    return f"{module}.{attr}"
+
+
+class TracedLock:
+    """A ``threading.Lock`` drop-in recording into a :class:`LockTrace`."""
+
+    #: mirrored by the static pack's ``_LOCK_CONSTRUCTORS`` table
+    reentrant = False
+
+    def __init__(self, name: str, trace: LockTrace, inner=None):
+        self.name = name
+        self._trace = trace
+        self._inner = inner if inner is not None else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the wrapped lock; record the event if it succeeded."""
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            path, line = call_site()
+            self._trace.record_acquire(self.name, path, line)
+        return ok
+
+    def release(self) -> None:
+        """Record the release, then release the wrapped lock.
+
+        Recording first keeps the trace's held-set bookkeeping consistent:
+        a competing thread cannot observe the lock as free before this
+        thread's release event exists.
+        """
+        path, line = call_site()
+        self._trace.record_release(self.name, path, line)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        """Whether the wrapped lock is currently held (plain locks only)."""
+        return self._inner.locked()
+
+    def __enter__(self) -> "TracedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:
+        kind = "TracedRLock" if self.reentrant else "TracedLock"
+        return f"{kind}({self.name!r})"
+
+
+class TracedRLock(TracedLock):
+    """A ``threading.RLock`` drop-in recording into a :class:`LockTrace`."""
+
+    reentrant = True
+
+    def __init__(self, name: str, trace: LockTrace):
+        super().__init__(name, trace, inner=threading.RLock())
+
+
+class TracingThreadingShim:
+    """A ``threading``-module proxy whose locks come out traced.
+
+    Installed into :mod:`repro.runtime.threaded` via
+    ``install_threading_shim``: ``Lock()``/``RLock()`` return traced
+    wrappers named after their construction site; everything else
+    (``Thread``, ``Timer``, ``Event``, ...) passes straight through to
+    the real module.
+    """
+
+    def __init__(self, trace: LockTrace):
+        self._trace = trace
+
+    def Lock(self) -> TracedLock:
+        """A :class:`TracedLock` named after the calling construction site."""
+        return TracedLock(infer_lock_name(sys._getframe(1)), self._trace)
+
+    def RLock(self) -> TracedRLock:
+        """A :class:`TracedRLock` named after the calling construction site."""
+        return TracedRLock(infer_lock_name(sys._getframe(1)), self._trace)
+
+    def __getattr__(self, name: str):
+        return getattr(threading, name)
+
+
+class _TracingMpContext:
+    """A multiprocessing-context proxy noting parent-side resource creation."""
+
+    def __init__(self, ctx, trace: LockTrace):
+        self._ctx = ctx
+        self._trace = trace
+
+    def Queue(self, *args, **kwargs):
+        """A real context queue, noted in the trace."""
+        path, line = call_site()
+        self._trace.note_resource("mp.Queue", path, line)
+        return self._ctx.Queue(*args, **kwargs)
+
+    def Event(self, *args, **kwargs):
+        """A real context event, noted in the trace."""
+        path, line = call_site()
+        self._trace.note_resource("mp.Event", path, line)
+        return self._ctx.Event(*args, **kwargs)
+
+    def Process(self, *args, **kwargs):
+        """A real context process, noted in the trace."""
+        path, line = call_site()
+        self._trace.note_resource("mp.Process", path, line)
+        return self._ctx.Process(*args, **kwargs)
+
+    def __getattr__(self, name: str):
+        return getattr(self._ctx, name)
+
+
+class TracingMpShim:
+    """A ``multiprocessing``-module proxy for the multiprocess backend.
+
+    Installed via ``install_mp_shim``: ``get_context()`` returns a proxy
+    context that notes every parent-side queue/event/process creation in
+    the trace (children always receive the real objects — construction is
+    wrapped, not the instances crossing ``fork``).  The scheduler locks
+    the multiprocess backend borrows from :mod:`repro.runtime.threaded`
+    are traced by the threading shim, not here.
+    """
+
+    def __init__(self, trace: LockTrace):
+        self._trace = trace
+
+    def get_context(self, method: Optional[str] = None) -> _TracingMpContext:
+        """The real context wrapped to note resource creation."""
+        import multiprocessing
+
+        return _TracingMpContext(multiprocessing.get_context(method), self._trace)
+
+    def __getattr__(self, name: str):
+        import multiprocessing
+
+        return getattr(multiprocessing, name)
+
+
+@contextmanager
+def traced_runtime_locks(trace: Optional[LockTrace] = None) -> Iterator[LockTrace]:
+    """Instrument both runtime backends for the duration of the block.
+
+    Installs the tracing shims through the backends' opt-in hooks and
+    guarantees their removal, so a raising scenario cannot leave the
+    runtime permanently instrumented::
+
+        with traced_runtime_locks() as trace:
+            ThreadedRun(...).run(0.25)
+        graph = observed_lock_graph(trace)
+    """
+    from repro.runtime import multiprocess, threaded
+
+    own = trace if trace is not None else LockTrace()
+    threaded.install_threading_shim(TracingThreadingShim(own))
+    multiprocess.install_mp_shim(TracingMpShim(own))
+    try:
+        yield own
+    finally:
+        threaded.uninstall_threading_shim()
+        multiprocess.uninstall_mp_shim()

@@ -1,0 +1,227 @@
+"""Eraser-style lockset race detection on statically-known guarded fields.
+
+The static ``CONC-UNLOCKED-STATE`` rule declares which fields are guarded
+(every underscore attribute a lock-owning class assigns in ``__init__``).
+This module watches exactly those fields at runtime: each watched
+instance's class is swapped for a generated subclass whose
+``__getattribute__``/``__setattr__`` report every guarded-field access to
+a :class:`LocksetMonitor`, which runs the classic Eraser lockset
+algorithm — the candidate lockset ``C(v)`` starts as the universe, is
+intersected with the accessing thread's held locks once the field is
+shared between threads, and an empty ``C(v)`` means no lock consistently
+protects the field: a data race.
+
+Construction-time writes are exempt (instances are watched *after*
+``__init__``), and the first accessing thread gets an exclusive grace
+phase, both mirroring Eraser's initialization handling — so the detector
+stays quiet on the correct runtime and loud on a genuinely unlocked
+shared write.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple, Type
+
+from repro.analysis.engine import load_module
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.concurrency import GuardedClass, guarded_class_state
+from repro.analysis.dynamic.trace import LockTrace, call_site
+
+__all__ = [
+    "LocksetMonitor",
+    "watch_guarded_state",
+    "watch_from_static",
+    "unwatch",
+]
+
+DYN_LOCKSET_RACE = "DYN-LOCKSET-RACE"
+
+#: instance slot holding the monitor (plain string key: no name mangling)
+_MONITOR_FIELD = "__repro_lockset_monitor__"
+_BASE_FIELD = "__repro_watched_base__"
+
+
+@dataclass
+class _FieldState:
+    """Per-field Eraser state: ownership phase and candidate lockset."""
+
+    first_thread: int
+    label: str
+    shared: bool = False
+    #: None = still the universe (not yet intersected)
+    lockset: Optional[FrozenSet[str]] = None
+    reported: bool = False
+
+
+class LocksetMonitor:
+    """Collects guarded-field accesses and runs the lockset algorithm.
+
+    Thread-safe: watched objects are, by definition, touched from several
+    threads at once.  Held-lock sets come from the same
+    :class:`~repro.analysis.dynamic.trace.LockTrace` the traced locks
+    record into, so "held" here means held *through a traced lock* — the
+    monitor must be paired with
+    :func:`~repro.analysis.dynamic.locks.traced_runtime_locks`.
+    """
+
+    def __init__(self, trace: LockTrace):
+        self._trace = trace
+        self._mutex = threading.Lock()
+        self._fields: Dict[Tuple[int, str], _FieldState] = {}
+        self._findings: List[Finding] = []
+        # OS thread idents are recycled as soon as a thread dies, so a new
+        # thread could impersonate the field's exclusive owner; hand out
+        # our own never-reused token per thread via thread-local storage.
+        self._local = threading.local()
+        self._next_token = 0
+
+    def _thread_token(self) -> int:
+        token = getattr(self._local, "token", None)
+        if token is None:
+            with self._mutex:
+                self._next_token += 1
+                token = self._next_token
+            self._local.token = token
+        return token
+
+    def record_access(
+        self, instance_id: int, label: str, attr: str, write: bool
+    ) -> None:
+        """One guarded-field access by the current thread.
+
+        Applies the Eraser transition for field ``(instance_id, attr)``
+        and emits a ``DYN-LOCKSET-RACE`` finding (once per field) the
+        moment the candidate lockset goes empty.
+        """
+        token = self._thread_token()
+        held = frozenset(self._trace.held(threading.get_ident()))
+        with self._mutex:
+            key = (instance_id, attr)
+            state = self._fields.get(key)
+            if state is None:
+                self._fields[key] = _FieldState(first_thread=token, label=label)
+                return
+            if not state.shared and token == state.first_thread:
+                return  # exclusive phase: single-owner access needs no lock
+            state.shared = True
+            state.lockset = held if state.lockset is None else state.lockset & held
+            if state.lockset or state.reported:
+                return
+            state.reported = True
+            path, line = call_site()
+            kind = "write to" if write else "read of"
+            self._findings.append(
+                Finding(
+                    rule_id=DYN_LOCKSET_RACE,
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=line,
+                    message=(
+                        f"unlocked {kind} guarded field {label}.{attr}: "
+                        f"candidate lockset is empty — no single lock "
+                        f"protects every access to this shared field"
+                    ),
+                )
+            )
+
+    def findings(self) -> List[Finding]:
+        """A snapshot of the races detected so far."""
+        with self._mutex:
+            return list(self._findings)
+
+    def fields_tracked(self) -> int:
+        """Number of distinct ``(instance, attr)`` fields seen."""
+        with self._mutex:
+            return len(self._fields)
+
+
+_subclass_cache: Dict[Tuple[Type[Any], FrozenSet[str]], Type[Any]] = {}
+
+
+def _watched_subclass(cls: Type[Any], attrs: FrozenSet[str]) -> Type[Any]:
+    """A ``cls`` subclass reporting accesses to ``attrs`` to the monitor."""
+    key = (cls, attrs)
+    cached = _subclass_cache.get(key)
+    if cached is not None:
+        return cached
+    label = f"{cls.__module__}.{cls.__qualname__}"
+
+    def __getattribute__(self: Any, name: str) -> Any:
+        if name in attrs:
+            monitor = object.__getattribute__(self, _MONITOR_FIELD)
+            monitor.record_access(id(self), label, name, write=False)
+        return object.__getattribute__(self, name)
+
+    def __setattr__(self: Any, name: str, value: Any) -> None:
+        if name in attrs:
+            monitor = object.__getattribute__(self, _MONITOR_FIELD)
+            monitor.record_access(id(self), label, name, write=True)
+        object.__setattr__(self, name, value)
+
+    sub = type(
+        f"Watched{cls.__name__}",
+        (cls,),
+        {
+            "__getattribute__": __getattribute__,
+            "__setattr__": __setattr__,
+            _BASE_FIELD: cls,
+        },
+    )
+    _subclass_cache[key] = sub
+    return sub
+
+
+def watch_guarded_state(
+    obj: Any, attrs: Iterable[str], monitor: LocksetMonitor
+) -> Any:
+    """Start reporting ``obj``'s accesses to ``attrs`` to ``monitor``.
+
+    Swaps the instance's class for a generated subclass — only this
+    instance is affected, and :func:`unwatch` restores the original.
+    Call *after* construction so ``__init__`` writes stay exempt, exactly
+    like the static rule's treatment of ``__init__``.
+    """
+    cls = type(obj)
+    object.__setattr__(obj, _MONITOR_FIELD, monitor)
+    object.__setattr__(obj, "__class__", _watched_subclass(cls, frozenset(attrs)))
+    return obj
+
+
+def watch_from_static(obj: Any, monitor: LocksetMonitor) -> GuardedClass:
+    """Watch ``obj`` using the static rule's own guarded-field table.
+
+    Parses the source file defining ``type(obj)`` and looks its class up
+    in :func:`~repro.analysis.rules.concurrency.guarded_class_state` — so
+    the runtime detector instruments *precisely* the fields the static
+    ``CONC-UNLOCKED-STATE`` rule considers guarded, never a hand-kept
+    copy.  Raises ``ValueError`` if the class owns no lock / guarded state
+    according to the static analysis.
+    """
+    cls = type(obj)
+    try:
+        source_path = inspect.getfile(cls)
+    except (TypeError, OSError) as exc:  # builtins, REPL-defined classes
+        raise ValueError(
+            f"{cls.__module__}.{cls.__name__} has no retrievable source; "
+            f"use watch_guarded_state with an explicit attribute set"
+        ) from exc
+    module_info = load_module(source_path)
+    guarded = guarded_class_state(module_info).get(cls.__name__)
+    if guarded is None:
+        raise ValueError(
+            f"{cls.__module__}.{cls.__name__} has no statically-known "
+            f"guarded state (not a lock-owning class)"
+        )
+    watch_guarded_state(obj, guarded.guarded, monitor)
+    return guarded
+
+
+def unwatch(obj: Any) -> Any:
+    """Restore a watched instance's original class (no-op if unwatched)."""
+    base = getattr(type(obj), _BASE_FIELD, None)
+    if base is not None:
+        object.__setattr__(obj, "__class__", base)
+    return obj

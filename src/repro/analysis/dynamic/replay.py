@@ -1,0 +1,169 @@
+"""Replay-determinism sanitizer: run a DES scenario twice, diff the streams.
+
+The discrete-event simulator is the repo's determinism anchor — same
+seed, same event stream, bit-for-bit.  This module checks that promise
+end to end: it taps :class:`repro.events.simulator.Simulator` (every
+fired event passes through the tap before its callback runs), executes a
+scenario twice with identical inputs, and compares the two fingerprint
+streams.  The first divergent event — extra, missing, or different —
+becomes a ``DYN-REPLAY-DIVERGENCE`` finding pointing at the callback
+that fired differently.
+
+Fingerprints are canonical on purpose: callback identity comes from the
+code object (file, line, qualname) and arguments are repr'd only when
+scalar — object reprs often embed memory addresses, which would make
+every run "diverge" for reasons that have nothing to do with
+determinism.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.events.simulator import Simulator
+
+__all__ = [
+    "EventFingerprint",
+    "ReplayReport",
+    "record_event_stream",
+    "check_replay",
+]
+
+DYN_REPLAY_DIVERGENCE = "DYN-REPLAY-DIVERGENCE"
+
+_SCALARS = (bool, int, float, str, bytes, type(None))
+
+
+def _canonical_arg(value: Any) -> str:
+    """A deterministic token for one event argument.
+
+    Scalars keep their repr (the interesting payload); everything else
+    collapses to its type name, because default object reprs embed
+    ``id()`` addresses that legitimately differ between runs.
+    """
+    if isinstance(value, _SCALARS):
+        return repr(value)
+    return f"<{type(value).__module__}.{type(value).__qualname__}>"
+
+
+def _callback_identity(fn: Callable) -> Tuple[str, str, int]:
+    """``(qualname, path, line)`` of an event callback's code object."""
+    target = getattr(fn, "__func__", fn)  # unwrap bound methods
+    code = getattr(target, "__code__", None)
+    qualname = getattr(target, "__qualname__", repr(target))
+    if code is None:  # builtins, partials, C callables
+        return qualname, "<builtin>", 1
+    return qualname, code.co_filename, code.co_firstlineno
+
+
+@dataclass(frozen=True)
+class EventFingerprint:
+    """The canonical identity of one fired simulator event."""
+
+    time: float
+    seq: int
+    fn: str
+    path: str
+    line: int
+    args: Tuple[str, ...]
+
+    def render(self) -> str:
+        """Compact one-line form used in divergence messages."""
+        return f"t={self.time:.6g} seq={self.seq} {self.fn}({', '.join(self.args)})"
+
+
+@contextmanager
+def record_event_stream() -> Iterator[List[EventFingerprint]]:
+    """Tap every simulator in the process, collecting fingerprints.
+
+    The yielded list fills in firing order as events run inside the
+    block; the tap is removed on exit even if the scenario raises.
+    """
+    stream: List[EventFingerprint] = []
+
+    def tap(time: float, seq: int, fn: Callable, args: tuple) -> None:
+        qualname, path, line = _callback_identity(fn)
+        stream.append(
+            EventFingerprint(
+                time=time,
+                seq=seq,
+                fn=qualname,
+                path=path,
+                line=line,
+                args=tuple(_canonical_arg(a) for a in args),
+            )
+        )
+
+    Simulator.install_tap(tap)
+    try:
+        yield stream
+    finally:
+        Simulator.remove_tap()
+
+
+@dataclass
+class ReplayReport:
+    """The verdict of a two-run replay comparison."""
+
+    run_lengths: Tuple[int, int]
+    #: index of the first differing event; None when the streams match
+    divergence_index: Optional[int] = None
+    first: Optional[EventFingerprint] = None
+    second: Optional[EventFingerprint] = None
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether both runs produced identical event streams."""
+        return self.divergence_index is None
+
+
+def check_replay(scenario: Callable[[], Any]) -> ReplayReport:
+    """Run ``scenario`` twice under the event tap and diff the streams.
+
+    The scenario must build its *own* simulator and RNGs from fixed seeds
+    each time it is called — the whole point is that two calls should be
+    indistinguishable.  Returns a :class:`ReplayReport`; a divergence
+    yields one ``DYN-REPLAY-DIVERGENCE`` finding anchored at the
+    callback of the first event that differed.
+    """
+    with record_event_stream() as first_stream:
+        scenario()
+    first = list(first_stream)
+    with record_event_stream() as second_stream:
+        scenario()
+    second = list(second_stream)
+
+    report = ReplayReport(run_lengths=(len(first), len(second)))
+    for index in range(max(len(first), len(second))):
+        a = first[index] if index < len(first) else None
+        b = second[index] if index < len(second) else None
+        if a == b:
+            continue
+        report.divergence_index = index
+        report.first = a
+        report.second = b
+        witness = b if b is not None else a
+        assert witness is not None
+        described = [
+            f"run 1: {a.render() if a else '<stream ended>'}",
+            f"run 2: {b.render() if b else '<stream ended>'}",
+        ]
+        report.findings.append(
+            Finding(
+                rule_id=DYN_REPLAY_DIVERGENCE,
+                severity=Severity.ERROR,
+                path=witness.path,
+                line=witness.line,
+                message=(
+                    f"replay diverged at event {index} "
+                    f"({'; '.join(described)}); same-seed runs must "
+                    f"produce identical event streams"
+                ),
+            )
+        )
+        break
+    return report

@@ -1,0 +1,176 @@
+"""The runtime trace: thread-safe record of lock and resource events.
+
+Everything the dynamic sanitizers observe funnels into one
+:class:`LockTrace`: traced locks record acquire/release events (with the
+acquiring thread's held-set captured atomically), and the backend shims
+note protocol resources (queues, events, contexts) as they are created.
+The trace doubles as the live answer to "what does this thread hold right
+now?", which is what the Eraser-style lockset detector needs at every
+guarded-field access.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LockEvent", "ResourceNote", "LockTrace", "call_site"]
+
+ACQUIRE = "acquire"
+RELEASE = "release"
+
+_PACKAGE_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def call_site() -> Tuple[str, int]:
+    """``(path, line)`` of the nearest caller outside this package.
+
+    Walks the stack past every frame that lives in
+    ``repro/analysis/dynamic`` so findings point at the *instrumented*
+    code (``threaded.py:57``), never at the instrumentation itself.
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        path = frame.f_code.co_filename
+        if os.path.dirname(os.path.abspath(path)) != _PACKAGE_DIR:
+            return path, frame.f_lineno
+        frame = frame.f_back
+    return "<unknown>", 1  # pragma: no cover - the stack always has a root
+
+
+@dataclass(frozen=True)
+class LockEvent:
+    """One lock acquire or release observed at runtime."""
+
+    seq: int
+    action: str  # ACQUIRE or RELEASE
+    lock: str  # qualified name, e.g. repro.runtime.threaded.ThreadedParameterServer._lock
+    thread: str
+    path: str
+    line: int
+    #: locks this thread already held when acquiring (ACQUIRE events only)
+    held_before: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ResourceNote:
+    """One protocol resource (queue, event, process, context) creation."""
+
+    kind: str
+    path: str
+    line: int
+
+
+class LockTrace:
+    """Thread-safe recorder of per-thread lock events.
+
+    ``record_acquire``/``record_release`` maintain each thread's held-lock
+    stack under an internal mutex, so the held-set snapshot stored on an
+    acquire event is exact — not reconstructed after the fact — and
+    :meth:`held` answers the lockset detector's query in O(held locks).
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._events: List[LockEvent] = []
+        self._notes: List[ResourceNote] = []
+        #: thread ident -> stack of lock names currently held
+        self._held: Dict[int, List[str]] = {}
+        self._seq = 0
+
+    def record_acquire(self, lock: str, path: str, line: int) -> None:
+        """Record that the current thread acquired ``lock`` at ``path:line``."""
+        ident = threading.get_ident()
+        name = threading.current_thread().name
+        with self._mutex:
+            stack = self._held.setdefault(ident, [])
+            event = LockEvent(
+                seq=self._seq,
+                action=ACQUIRE,
+                lock=lock,
+                thread=name,
+                path=path,
+                line=line,
+                held_before=tuple(stack),
+            )
+            self._seq += 1
+            self._events.append(event)
+            stack.append(lock)
+
+    def record_release(self, lock: str, path: str, line: int) -> None:
+        """Record that the current thread released ``lock`` at ``path:line``."""
+        ident = threading.get_ident()
+        name = threading.current_thread().name
+        with self._mutex:
+            stack = self._held.get(ident, [])
+            # Remove the innermost matching hold (LIFO discipline; an RLock
+            # released out of order still resolves to *a* matching entry).
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] == lock:
+                    del stack[index]
+                    break
+            event = LockEvent(
+                seq=self._seq,
+                action=RELEASE,
+                lock=lock,
+                thread=name,
+                path=path,
+                line=line,
+            )
+            self._seq += 1
+            self._events.append(event)
+
+    def note_resource(self, kind: str, path: str, line: int) -> None:
+        """Record a protocol-resource creation (queue/event/process/context)."""
+        with self._mutex:
+            self._notes.append(ResourceNote(kind=kind, path=path, line=line))
+
+    def held(self, ident: Optional[int] = None) -> Tuple[str, ...]:
+        """Locks currently held by ``ident`` (default: the calling thread)."""
+        if ident is None:
+            ident = threading.get_ident()
+        with self._mutex:
+            return tuple(self._held.get(ident, ()))
+
+    def events(self) -> List[LockEvent]:
+        """A snapshot of all recorded lock events, in global order."""
+        with self._mutex:
+            return list(self._events)
+
+    def notes(self) -> List[ResourceNote]:
+        """A snapshot of all recorded resource notes."""
+        with self._mutex:
+            return list(self._notes)
+
+    def held_by_thread(self) -> Dict[str, Tuple[str, ...]]:
+        """Threads that currently hold locks: ``{thread name: held locks}``.
+
+        Idents with an empty stack are omitted; names are resolved against
+        the live thread registry (dead threads keep a placeholder name).
+        """
+        with self._mutex:
+            result: Dict[str, Tuple[str, ...]] = {}
+            for ident, stack in self._held.items():
+                if not stack:
+                    continue
+                result[self._thread_name(ident)] = tuple(stack)
+            return result
+
+    @staticmethod
+    def _thread_name(ident: int) -> str:
+        for thread in threading.enumerate():
+            if thread.ident == ident:
+                return thread.name
+        return f"<dead thread {ident}>"
+
+    def lock_names(self) -> List[str]:
+        """Sorted names of every lock that appears in the trace."""
+        with self._mutex:
+            return sorted({event.lock for event in self._events})
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._events)

@@ -1,0 +1,44 @@
+"""Graph helpers shared by the static rules and the dynamic sanitizers.
+
+Both the static ``CONC-LOCK-ORDER`` rule and the runtime lock-order
+oracle (:mod:`repro.analysis.dynamic.lockorder`) reduce to the same
+question: does the lock-acquisition-order graph contain a cycle?  The
+edge *payloads* differ — the static pass attaches ``(ModuleInfo, line)``
+witnesses, the dynamic pass ``(path, line)`` call sites — so the cycle
+finder here is generic over the payload type and only looks at keys.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Set, Tuple
+
+__all__ = ["find_cycles"]
+
+
+def find_cycles(edges: Mapping[str, Mapping[str, object]]) -> List[Tuple[str, ...]]:
+    """Elementary cycles in a directed graph, deduped by member set.
+
+    ``edges`` maps source node -> {destination node -> payload}; payloads
+    are ignored.  Each cycle is reported once, as the node tuple starting
+    from its smallest member, in deterministic (sorted) order.
+    """
+    cycles: List[Tuple[str, ...]] = []
+    seen: Set[frozenset] = set()
+
+    def dfs(start: str, node: str, path: List[str], visited: Set[str]) -> None:
+        for succ in sorted(edges.get(node, ())):
+            if succ == start and len(path) > 1:
+                key = frozenset(path)
+                if key not in seen:
+                    seen.add(key)
+                    cycles.append(tuple(path))
+            elif succ not in visited and succ > start:
+                # Only explore nodes ordered after the start so each cycle
+                # is discovered from its smallest member exactly once.
+                visited.add(succ)
+                dfs(start, succ, path + [succ], visited)
+                visited.discard(succ)
+
+    for start in sorted(edges):
+        dfs(start, start, [start], {start})
+    return cycles

@@ -35,9 +35,14 @@ from repro.analysis.astutil import (
 )
 from repro.analysis.engine import ModuleInfo, Rule
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.graphs import find_cycles
 
 __all__ = [
     "RUNTIME_PACKAGE",
+    "StaticLockGraph",
+    "GuardedClass",
+    "build_lock_order_graph",
+    "guarded_class_state",
     "LockOrderRule",
     "ThreadDaemonRule",
     "QueueTimeoutRule",
@@ -59,6 +64,16 @@ def in_runtime_zone(module: ModuleInfo) -> bool:
     return module.module == RUNTIME_PACKAGE or module.module.startswith(
         RUNTIME_PACKAGE + "."
     )
+
+
+@dataclass
+class GuardedClass:
+    """One lock-owning class: its lock attributes and the state they guard."""
+
+    #: lock attribute name -> reentrant?
+    lock_attrs: Dict[str, bool] = field(default_factory=dict)
+    #: underscore attributes assigned in ``__init__`` (guarded by convention)
+    guarded: Set[str] = field(default_factory=set)
 
 
 @dataclass
@@ -123,14 +138,121 @@ def _lock_for_expr(
     return None
 
 
+@dataclass
+class StaticLockGraph:
+    """The statically derived lock-acquisition-order facts.
+
+    ``edges[src][dst]`` holds the first witness ``(module, line)`` where
+    ``dst`` is acquired while ``src`` is held; ``self_deadlocks`` lists
+    non-reentrant locks re-acquired while already held.  The dynamic
+    lock-order oracle diffs its observed graph against this structure.
+    """
+
+    edges: Dict[str, Dict[str, Tuple[ModuleInfo, int]]] = field(default_factory=dict)
+    self_deadlocks: List[Tuple[str, ModuleInfo, int]] = field(default_factory=list)
+
+    def edge_pairs(self) -> Set[Tuple[str, str]]:
+        """The ``(src, dst)`` pairs, without witnesses."""
+        return {(src, dst) for src, dsts in self.edges.items() for dst in dsts}
+
+
+def build_lock_order_graph(modules: Sequence[ModuleInfo]) -> StaticLockGraph:
+    """Build the static lock-acquisition-order graph over ``modules``.
+
+    Edges ``A -> B`` are added whenever lock B is acquired while A is
+    held — directly through nested ``with`` blocks, or one call deep
+    through ``self.method()`` / module-function calls made under a lock.
+    Lock names are fully qualified (``module.Class.attr`` / ``module.var``)
+    and match the names the runtime tracer infers, so the two graphs are
+    directly comparable.
+    """
+    graph = StaticLockGraph()
+    direct: Dict[Tuple[str, Optional[str], str], Set[str]] = {}
+    deferred_calls: List[
+        Tuple[List[str], Tuple[str, Optional[str], str], ModuleInfo, int]
+    ] = []
+
+    def add_edge(src: str, dst: str, module: ModuleInfo, line: int) -> None:
+        graph.edges.setdefault(src, {}).setdefault(dst, (module, line))
+
+    for module in modules:
+        aliases = import_aliases(module.tree)
+        table = _collect_locks(module, aliases)
+
+        def walk(
+            node: ast.AST,
+            held: List[str],
+            class_name: Optional[str],
+            fn_key: Tuple[str, Optional[str], str],
+            module: ModuleInfo = module,
+            table: _LockTable = table,
+        ) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+                ):
+                    continue  # separate execution context
+                if isinstance(child, ast.With):
+                    acquired: List[str] = []
+                    for item in child.items:
+                        info = _lock_for_expr(
+                            item.context_expr, module, class_name, table
+                        )
+                        if info is None:
+                            continue
+                        lock, reentrant = info
+                        if lock in held and not reentrant:
+                            graph.self_deadlocks.append(
+                                (lock, module, child.lineno)
+                            )
+                        for holder in held:
+                            if holder != lock:
+                                add_edge(holder, lock, module, child.lineno)
+                        acquired.append(lock)
+                        direct.setdefault(fn_key, set()).add(lock)
+                    walk(child, held + acquired, class_name, fn_key)
+                    continue
+                if isinstance(child, ast.Call) and held:
+                    callee: Optional[Tuple[str, Optional[str], str]] = None
+                    func = child.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "self"
+                    ):
+                        callee = (module.module, class_name, func.attr)
+                    elif isinstance(func, ast.Name):
+                        callee = (module.module, None, func.id)
+                    if callee is not None:
+                        deferred_calls.append(
+                            (list(held), callee, module, child.lineno)
+                        )
+                walk(child, held, class_name, fn_key)
+
+        for class_def, fn in _walk_functions(module.tree):
+            class_name = class_def.name if class_def is not None else None
+            fn_key = (module.module, class_name, fn.name)
+            direct.setdefault(fn_key, set())
+            walk(fn, [], class_name, fn_key)
+
+    # One call level deep: locks the callee takes while the caller
+    # holds its own.
+    for held, callee, module, line in deferred_calls:
+        for lock in direct.get(callee, ()):
+            for holder in held:
+                if holder != lock:
+                    add_edge(holder, lock, module, line)
+
+    return graph
+
+
 class LockOrderRule(Rule):
     """CONC-LOCK-ORDER: cyclic lock-acquisition order across the runtime.
 
-    Builds edges ``A -> B`` whenever lock B is acquired while A is held —
-    directly through nested ``with`` blocks, or one call deep through
-    ``self.method()`` / module-function calls made under a lock.  Any
-    cycle in the resulting graph (including a non-reentrant lock acquired
-    while already held) is a potential deadlock.
+    Runs :func:`build_lock_order_graph` over the runtime modules and
+    reports any cycle (including a non-reentrant lock acquired while
+    already held) as a potential deadlock.
     """
 
     rule_id = "CONC-LOCK-ORDER"
@@ -144,86 +266,9 @@ class LockOrderRule(Rule):
         if not runtime_modules:
             return
 
-        edges: Dict[str, Dict[str, Tuple[ModuleInfo, int]]] = {}
-        direct: Dict[Tuple[str, Optional[str], str], Set[str]] = {}
-        deferred_calls: List[
-            Tuple[List[str], Tuple[str, Optional[str], str], ModuleInfo, int]
-        ] = []
-        self_deadlocks: List[Tuple[str, ModuleInfo, int]] = []
+        graph = build_lock_order_graph(runtime_modules)
 
-        def add_edge(src: str, dst: str, module: ModuleInfo, line: int) -> None:
-            edges.setdefault(src, {}).setdefault(dst, (module, line))
-
-        for module in runtime_modules:
-            aliases = import_aliases(module.tree)
-            table = _collect_locks(module, aliases)
-
-            def walk(
-                node: ast.AST,
-                held: List[str],
-                class_name: Optional[str],
-                fn_key: Tuple[str, Optional[str], str],
-                module: ModuleInfo = module,
-                table: _LockTable = table,
-            ) -> None:
-                for child in ast.iter_child_nodes(node):
-                    if isinstance(
-                        child,
-                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
-                    ):
-                        continue  # separate execution context
-                    if isinstance(child, ast.With):
-                        acquired: List[str] = []
-                        for item in child.items:
-                            info = _lock_for_expr(
-                                item.context_expr, module, class_name, table
-                            )
-                            if info is None:
-                                continue
-                            lock, reentrant = info
-                            if lock in held and not reentrant:
-                                self_deadlocks.append(
-                                    (lock, module, child.lineno)
-                                )
-                            for holder in held:
-                                if holder != lock:
-                                    add_edge(holder, lock, module, child.lineno)
-                            acquired.append(lock)
-                            direct.setdefault(fn_key, set()).add(lock)
-                        walk(child, held + acquired, class_name, fn_key)
-                        continue
-                    if isinstance(child, ast.Call) and held:
-                        callee: Optional[Tuple[str, Optional[str], str]] = None
-                        func = child.func
-                        if (
-                            isinstance(func, ast.Attribute)
-                            and isinstance(func.value, ast.Name)
-                            and func.value.id == "self"
-                        ):
-                            callee = (module.module, class_name, func.attr)
-                        elif isinstance(func, ast.Name):
-                            callee = (module.module, None, func.id)
-                        if callee is not None:
-                            deferred_calls.append(
-                                (list(held), callee, module, child.lineno)
-                            )
-                    walk(child, held, class_name, fn_key)
-
-            for class_def, fn in _walk_functions(module.tree):
-                class_name = class_def.name if class_def is not None else None
-                fn_key = (module.module, class_name, fn.name)
-                direct.setdefault(fn_key, set())
-                walk(fn, [], class_name, fn_key)
-
-        # One call level deep: locks the callee takes while the caller
-        # holds its own.
-        for held, callee, module, line in deferred_calls:
-            for lock in direct.get(callee, ()):
-                for holder in held:
-                    if holder != lock:
-                        add_edge(holder, lock, module, line)
-
-        for lock, module, line in self_deadlocks:
+        for lock, module, line in graph.self_deadlocks:
             yield self.finding(
                 module,
                 line,
@@ -231,9 +276,9 @@ class LockOrderRule(Rule):
                 f"(guaranteed self-deadlock); use RLock or restructure",
             )
 
-        for cycle in _find_cycles(edges):
+        for cycle in find_cycles(graph.edges):
             first, second = cycle[0], cycle[1 % len(cycle)]
-            module, line = edges[first][second]
+            module, line = graph.edges[first][second]
             chain = " -> ".join(cycle + (cycle[0],))
             yield self.finding(
                 module,
@@ -243,30 +288,31 @@ class LockOrderRule(Rule):
             )
 
 
-def _find_cycles(
-    edges: Dict[str, Dict[str, Tuple[ModuleInfo, int]]]
-) -> List[Tuple[str, ...]]:
-    """Elementary cycles in the lock graph, deduped by member set."""
-    cycles: List[Tuple[str, ...]] = []
-    seen: Set[frozenset] = set()
+def guarded_class_state(module: ModuleInfo) -> Dict[str, GuardedClass]:
+    """Lock-owning classes in ``module`` and the state their lock guards.
 
-    def dfs(start: str, node: str, path: List[str], visited: Set[str]) -> None:
-        for succ in sorted(edges.get(node, ())):
-            if succ == start and len(path) > 1:
-                key = frozenset(path)
-                if key not in seen:
-                    seen.add(key)
-                    cycles.append(tuple(path))
-            elif succ not in visited and succ > start:
-                # Only explore nodes ordered after the start so each cycle
-                # is discovered from its smallest member exactly once.
-                visited.add(succ)
-                dfs(start, succ, path + [succ], visited)
-                visited.discard(succ)
-
-    for start in sorted(edges):
-        dfs(start, start, [start], {start})
-    return cycles
+    Returns ``{class name: (lock attrs, guarded attrs)}`` using exactly
+    the convention the ``CONC-UNLOCKED-STATE`` rule enforces: every
+    underscore attribute a lock-owning class assigns in ``__init__`` is
+    guarded by its lock.  The dynamic lockset race detector instruments
+    precisely these fields, so the static and runtime checks agree on
+    what "guarded" means.
+    """
+    aliases = import_aliases(module.tree)
+    table = _collect_locks(module, aliases)
+    result: Dict[str, GuardedClass] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        lock_attrs = table.class_locks.get(node.name)
+        if not lock_attrs:
+            continue
+        guarded = UnlockedStateRule._guarded_attrs(node, lock_attrs)
+        if guarded:
+            result[node.name] = GuardedClass(
+                lock_attrs=dict(lock_attrs), guarded=set(guarded)
+            )
+    return result
 
 
 class ThreadDaemonRule(Rule):

@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Four subcommands::
+Subcommands::
 
     repro list                          # available workloads and schemes
     repro run --workload mf --scheme adaptive --workers 40
     repro compare --workload cifar10 --schemes original adaptive
     repro experiment fig8               # regenerate a paper table/figure
     repro lint [--format json] [paths…] # codebase-specific static analysis
+    repro sanitize [--backend threaded] # runtime sanitizers (locks, races,
+                                        # replay determinism)
 
 Every experiment the benchmark harness runs is reachable from here, so the
 paper's evaluation can be regenerated without pytest.
@@ -21,7 +23,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 import repro
-from repro.analysis import render_json, render_text, run_lint
+from repro.analysis import Severity, render_json, render_text, run_lint
 
 from repro.cluster.spec import ClusterSpec
 from repro.experiments import (
@@ -134,6 +136,39 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--show-suppressed", action="store_true",
         help="also print findings waived by # repro: allow[...] comments",
+    )
+    lint_parser.add_argument(
+        "--fail-on", choices=["error", "warning"], default="warning",
+        help="minimum severity that fails the run (default: warning, "
+             "i.e. any unsuppressed finding)",
+    )
+
+    sanitize_parser = sub.add_parser(
+        "sanitize",
+        help="run the dynamic sanitizers: lock-order recorder, lockset "
+             "race detector, replay-determinism checker",
+    )
+    sanitize_parser.add_argument(
+        "--backend", choices=["threaded", "multiprocess"], default="threaded",
+        help="which real-time backend to instrument",
+    )
+    sanitize_parser.add_argument("--duration", type=float, default=0.3,
+                                 help="instrumented run length in wall seconds")
+    sanitize_parser.add_argument("--workers", type=int, default=4)
+    sanitize_parser.add_argument("--seed", type=int, default=0)
+    sanitize_parser.add_argument("--format", choices=["text", "json"],
+                                 default="text")
+    sanitize_parser.add_argument(
+        "--output", metavar="PATH",
+        help="also write the JSON report to PATH (for CI artifacts)",
+    )
+    sanitize_parser.add_argument(
+        "--no-replay", action="store_true",
+        help="skip the (slower) replay-determinism check",
+    )
+    sanitize_parser.add_argument(
+        "--fail-on", choices=["error", "warning"], default="warning",
+        help="minimum severity that fails the run (default: warning)",
     )
     return parser
 
@@ -272,6 +307,19 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _gate_exit_code(findings, fail_on: str) -> int:
+    """1 if any unsuppressed finding meets the ``--fail-on`` threshold.
+
+    ``warning`` fails on any unsuppressed finding (the historical
+    behavior); ``error`` lets warnings through so CI can gate hard
+    defects while a warning backlog is being burned down.
+    """
+    active = [f for f in findings if not f.suppressed]
+    if fail_on == "error":
+        active = [f for f in active if f.severity is Severity.ERROR]
+    return 1 if active else 0
+
+
 def _cmd_lint(args) -> int:
     paths = args.paths or [os.path.dirname(os.path.abspath(repro.__file__))]
     try:
@@ -283,8 +331,28 @@ def _cmd_lint(args) -> int:
         print(render_json(findings))
     else:
         print(render_text(findings, show_suppressed=args.show_suppressed))
-    unsuppressed = [f for f in findings if not f.suppressed]
-    return 1 if unsuppressed else 0
+    return _gate_exit_code(findings, args.fail_on)
+
+
+def _cmd_sanitize(args) -> int:
+    from repro.analysis.dynamic import run_sanitizers
+
+    report = run_sanitizers(
+        backend=args.backend,
+        duration_s=args.duration,
+        workers=args.workers,
+        seed=args.seed,
+        replay=not args.no_replay,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.output}", file=sys.stderr)
+    return _gate_exit_code(report.findings, args.fail_on)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -299,6 +367,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

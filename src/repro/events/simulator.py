@@ -7,7 +7,11 @@ from typing import Callable, Optional
 
 from repro.events.event import Event
 
-__all__ = ["Simulator", "SimulationError"]
+__all__ = ["Simulator", "SimulationError", "EventTap"]
+
+#: Signature of an event tap: ``tap(time, seq, fn, args)`` called for every
+#: event immediately before it fires.  See :meth:`Simulator.install_tap`.
+EventTap = Callable[[float, int, Callable, tuple], None]
 
 
 class SimulationError(Exception):
@@ -30,12 +34,40 @@ class Simulator:
     are expressed.
     """
 
+    #: Class-wide tap observing every fired event (see :meth:`install_tap`).
+    #: Class-level so instrumentation reaches simulators constructed deep
+    #: inside engine code the caller never sees.  ``None`` = no overhead.
+    _tap: Optional[EventTap] = None
+
     def __init__(self, start_time: float = 0.0):
         self.now = float(start_time)
         self._heap: list[Event] = []
         self._seq = 0
         self._events_fired = 0
         self._running = False
+
+    # ------------------------------------------------------------------
+    # Instrumentation tap
+    # ------------------------------------------------------------------
+    @classmethod
+    def install_tap(cls, tap: EventTap) -> None:
+        """Install a process-wide event tap.
+
+        The tap is called as ``tap(time, seq, fn, args)`` for every event,
+        on every simulator instance, immediately *before* the callback
+        runs — so a crashing callback still leaves its event on record.
+        Used by the replay-determinism sanitizer
+        (:mod:`repro.analysis.dynamic.replay`) to fingerprint the event
+        stream; at most one tap can be installed at a time.
+        """
+        if cls._tap is not None:
+            raise SimulationError("an event tap is already installed")
+        cls._tap = tap
+
+    @classmethod
+    def remove_tap(cls) -> None:
+        """Remove the installed event tap (no-op if none is installed)."""
+        cls._tap = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -69,6 +101,9 @@ class Simulator:
             self.now = event.time
             event.fired = True
             self._events_fired += 1
+            tap = Simulator._tap
+            if tap is not None:
+                tap(event.time, event.seq, event.fn, event.args)
             event.fn(*event.args)
             return True
         return False

@@ -27,9 +27,45 @@ from repro.ml.models.base import Model
 from repro.ml.optim import SgdUpdateRule
 from repro.utils.rng import RngStreams
 
-__all__ = ["MultiprocessRun", "MultiprocessRunResult"]
+__all__ = [
+    "MultiprocessRun",
+    "MultiprocessRunResult",
+    "install_mp_shim",
+    "uninstall_mp_shim",
+]
 
 _POLL_S = 0.02
+
+#: All queues in this backend are created unbounded in ``run()``, so a
+#: ``put`` never blocks in practice; the explicit timeout turns the
+#: impossible-but-catastrophic case (a corrupted queue feeder) into a loud
+#: ``queue.Full`` instead of a silent hang.
+_PUT_TIMEOUT_S = 10.0
+
+# ----------------------------------------------------------------------
+# Dynamic-analysis patch hook
+# ----------------------------------------------------------------------
+_REAL_MP = mp
+
+
+def install_mp_shim(shim) -> None:
+    """Opt-in hook for :mod:`repro.analysis.dynamic`: rebind this module's
+    ``mp`` (multiprocessing) to *shim*.
+
+    The shim proxies the real module but lets the sanitizer observe
+    parent-side protocol resources — contexts, queues, events — as they
+    are created.  Child processes always receive the real objects (the
+    shim wraps construction, not the instances crossing ``fork``).  Pair
+    with :func:`uninstall_mp_shim`.
+    """
+    global mp
+    mp = shim
+
+
+def uninstall_mp_shim() -> None:
+    """Restore the real stdlib ``multiprocessing`` module binding."""
+    global mp
+    mp = _REAL_MP
 
 
 # ----------------------------------------------------------------------
@@ -49,20 +85,21 @@ def _server_main(initial_params, update_rule, request_queue, response_queues,
         kind = message[0]
         if kind == "pull":
             _, worker_id = message
-            # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
-            response_queues[worker_id].put(("params", params.copy(), version))
+            response_queues[worker_id].put(
+                ("params", params.copy(), version), timeout=_PUT_TIMEOUT_S
+            )
         elif kind == "push":
             _, worker_id, gradient, snapshot_version = message
             staleness_sum += version - snapshot_version
             staleness_count += 1
             update_rule.apply(params, gradient)
             version += 1
-            # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
-            response_queues[worker_id].put(("ack", version))
+            response_queues[worker_id].put(("ack", version), timeout=_PUT_TIMEOUT_S)
         elif kind == "stats":
             mean = staleness_sum / staleness_count if staleness_count else 0.0
-            # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
-            stats_reply_queue.put(("stats", version, mean, params.copy()))
+            stats_reply_queue.put(
+                ("stats", version, mean, params.copy()), timeout=_PUT_TIMEOUT_S
+            )
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown server message {kind!r}")
 
@@ -81,8 +118,7 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
     aborts = 0
 
     def pull():
-        # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
-        request_queue.put(("pull", worker_id))
+        request_queue.put(("pull", worker_id), timeout=_PUT_TIMEOUT_S)
         while True:
             try:
                 kind, params, version = response_queue.get(timeout=_POLL_S)
@@ -117,8 +153,7 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
         if stop_event.is_set() or snapshot is None:
             break
         _, gradient = model.loss_and_grad(snapshot, batch)
-        # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
-        request_queue.put(("push", worker_id, gradient, version))
+        request_queue.put(("push", worker_id, gradient, version), timeout=_PUT_TIMEOUT_S)
         while True:
             try:
                 kind, _version = response_queue.get(timeout=_POLL_S)
@@ -129,10 +164,8 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
             assert kind == "ack"
             break
         iterations += 1
-        # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
-        notify_queue.put((worker_id, iterations))
-    # repro: allow[CONC-QUEUE-TIMEOUT] queue created unbounded in run(); put never blocks
-    stats_queue.put((worker_id, iterations, aborts))
+        notify_queue.put((worker_id, iterations), timeout=_PUT_TIMEOUT_S)
+    stats_queue.put((worker_id, iterations, aborts), timeout=_PUT_TIMEOUT_S)
 
 
 @dataclass

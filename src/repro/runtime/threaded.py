@@ -36,7 +36,36 @@ __all__ = [
     "ThreadedWorker",
     "ThreadedRun",
     "ThreadedRunResult",
+    "install_threading_shim",
+    "uninstall_threading_shim",
 ]
+
+# ----------------------------------------------------------------------
+# Dynamic-analysis patch hook
+# ----------------------------------------------------------------------
+_REAL_THREADING = threading
+
+
+def install_threading_shim(shim) -> None:
+    """Opt-in hook for :mod:`repro.analysis.dynamic`: rebind this module's
+    ``threading`` to *shim*.
+
+    The shim is a proxy for the stdlib module whose ``Lock``/``RLock``
+    factories return traced wrappers, so every lock the runtime creates
+    while the shim is installed records per-thread acquire/release events.
+    Classes defined at import time (``ThreadedWorker``) keep their real
+    ``threading.Thread`` base; only *construction* sites in this module
+    are redirected.  Call :func:`uninstall_threading_shim` to restore the
+    real module — instrumented runs must always pair the two.
+    """
+    global threading
+    threading = shim
+
+
+def uninstall_threading_shim() -> None:
+    """Restore the real stdlib ``threading`` module binding."""
+    global threading
+    threading = _REAL_THREADING
 
 
 class ThreadedParameterServer:
@@ -106,10 +135,19 @@ class _ThreadSafeScheduler:
             timer.start()
 
     def _fire(self, fn) -> None:
-        with self._lock:
-            if self._closed:
-                return
-            fn()
+        # A Timer is a Thread: the timer executing this callback is the
+        # current thread, so it can drop itself from the outstanding list
+        # (otherwise _timers grows for the whole run).  The finally
+        # guarantees the prune even when fn() raises.
+        try:
+            with self._lock:
+                if self._closed:
+                    return
+                fn()
+        finally:
+            me = threading.current_thread()
+            with self._lock:
+                self._timers = [t for t in self._timers if t is not me]
 
     def handle_notify(self, worker_id: int, iteration: int) -> None:
         with self._lock:
@@ -117,10 +155,27 @@ class _ThreadSafeScheduler:
                 self.inner.handle_notify(worker_id, iteration)
 
     def close(self) -> None:
+        """Mark closed and cancel every outstanding timer.
+
+        Idempotent.  Cancellation happens outside the lock (a timer that
+        already started firing blocks on the lock in :meth:`_fire`; holding
+        it here would serialize against every such straggler) and pops
+        timers one by one, so an exception from one ``cancel`` cannot
+        strand the rest un-cancelled.
+        """
         with self._lock:
             self._closed = True
-            for timer in self._timers:
-                timer.cancel()
+            timers, self._timers = self._timers, []
+        try:
+            while timers:
+                timers[-1].cancel()
+                timers.pop()
+        finally:
+            if timers:
+                # A cancel raised: re-stash the remainder so a retrying
+                # close() still cancels them instead of leaking threads.
+                with self._lock:
+                    self._timers.extend(timers)
 
 
 class ThreadedWorker(threading.Thread):
@@ -267,19 +322,27 @@ class ThreadedRun:
         self.workers[worker_id].request_resync()
 
     def run(self, duration_s: float = 0.5) -> ThreadedRunResult:
-        """Run all workers for ``duration_s`` wall seconds, then stop."""
+        """Run all workers for ``duration_s`` wall seconds, then stop.
+
+        Worker joins and scheduler close happen in a ``finally`` so that a
+        raising worker ``start()`` (or an interrupt during the sleep)
+        cannot leak running threads or live timers past this call.
+        """
         if duration_s <= 0:
             raise ValueError(f"duration_s must be positive, got {duration_s}")
         started = time.monotonic()
-        for worker in self.workers:
-            worker.start()
-        time.sleep(duration_s)
-        self.stop_event.set()
-        for worker in self.workers:
-            worker.abort_event.set()  # release any in-flight waits
-            worker.join(timeout=5.0)
-        if self.scheduler is not None:
-            self.scheduler.close()
+        try:
+            for worker in self.workers:
+                worker.start()
+            time.sleep(duration_s)
+        finally:
+            self.stop_event.set()
+            for worker in self.workers:
+                worker.abort_event.set()  # release any in-flight waits
+                if worker.is_alive():
+                    worker.join(timeout=5.0)
+            if self.scheduler is not None:
+                self.scheduler.close()
         wall = time.monotonic() - started
 
         final_params, _ = self.server.pull()

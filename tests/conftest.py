@@ -1,0 +1,44 @@
+"""Shared fixtures: runtime tests run under the dynamic lock sanitizer.
+
+The tier-1 runtime test modules (threaded and multiprocess backends) are
+transparently instrumented: every ``threading.Lock``/``RLock`` the
+runtime creates during those tests is traced, and after each test the
+observed lock-acquisition-order graph is checked for cycles.  The tests
+themselves are unchanged — a lock-order regression anywhere in the
+runtime fails the suite with a ``DYN-LOCK-CYCLE`` message even if the
+unlucky interleaving never actually deadlocked on this machine.
+
+Only cycles are checked here (not locks-held-at-exit): daemon timer
+threads may legitimately straggle past a test's end, and the full
+held-at-exit check — with its grace period — belongs to ``repro
+sanitize``, not to every test teardown.
+"""
+
+import pytest
+
+#: test modules whose runs get lock instrumentation
+_INSTRUMENTED_MODULES = {"test_runtime_threaded", "test_runtime_multiprocess"}
+
+
+@pytest.fixture(autouse=True)
+def _runtime_lock_sanitizer(request):
+    """Trace runtime locks during runtime-backend tests; fail on cycles."""
+    module_name = request.module.__name__.rsplit(".", 1)[-1]
+    if module_name not in _INSTRUMENTED_MODULES:
+        yield
+        return
+
+    from repro.analysis.dynamic import (
+        cycle_findings,
+        observed_lock_graph,
+        traced_runtime_locks,
+    )
+
+    with traced_runtime_locks() as trace:
+        yield
+    findings = cycle_findings(observed_lock_graph(trace))
+    if findings:
+        pytest.fail(
+            "dynamic lock sanitizer found lock-order cycles:\n"
+            + "\n".join(f.render() for f in findings)
+        )

@@ -96,6 +96,124 @@ class TestCommands:
         assert "m3.xlarge" in capsys.readouterr().out
 
 
+def _write_runtime_module(tmp_path, source):
+    """A fake ``repro.runtime`` package so runtime-zone rules fire."""
+    package = tmp_path / "repro" / "runtime"
+    package.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (package / "__init__.py").write_text("")
+    (package / "mod.py").write_text(source)
+    return str(package / "mod.py")
+
+
+_WARNING_ONLY = '''
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def peek(self):
+        return self._value
+'''
+
+_WITH_ERROR = '''
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def get(self):
+        with self._lock:
+            with self._lock:
+                return self._value
+'''
+
+
+class TestLintFailOn:
+    def test_warning_fails_by_default(self, tmp_path, capsys):
+        path = _write_runtime_module(tmp_path, _WARNING_ONLY)
+        assert main(["lint", path]) == 1
+        assert "CONC-UNLOCKED-STATE" in capsys.readouterr().out
+
+    def test_fail_on_error_lets_warnings_pass(self, tmp_path, capsys):
+        path = _write_runtime_module(tmp_path, _WARNING_ONLY)
+        assert main(["lint", "--fail-on", "error", path]) == 0
+        # The warning is still reported, just not fatal.
+        assert "CONC-UNLOCKED-STATE" in capsys.readouterr().out
+
+    def test_fail_on_error_still_fails_on_errors(self, tmp_path, capsys):
+        path = _write_runtime_module(tmp_path, _WITH_ERROR)
+        assert main(["lint", "--fail-on", "error", path]) == 1
+        assert "CONC-LOCK-ORDER" in capsys.readouterr().out
+
+    def test_clean_tree_passes_both_thresholds(self, capsys):
+        import repro as repro_pkg
+        import os
+
+        pkg_dir = os.path.dirname(os.path.abspath(repro_pkg.__file__))
+        assert main(["lint", pkg_dir]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--fail-on", "error", pkg_dir]) == 0
+
+
+class TestSanitizeCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(
+            ["sanitize", "--duration", "0.2", "--workers", "2", "--no-replay"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lock events" in out
+        assert "clean" in out
+
+    def test_json_report_written(self, tmp_path, capsys):
+        report_path = tmp_path / "sanitize.json"
+        code = main(
+            ["sanitize", "--duration", "0.2", "--workers", "2", "--no-replay",
+             "--format", "json", "--output", str(report_path)]
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["backend"] == "threaded"
+        assert payload["findings"] == []
+        # stdout carries the same JSON document
+        assert json.loads(capsys.readouterr().out)["backend"] == "threaded"
+
+    def test_findings_gate_exit_code(self, monkeypatch, capsys):
+        from repro import cli
+        from repro.analysis import Finding, Severity
+        from repro.analysis.dynamic import sanitize as sanitize_module
+
+        def fake_run_sanitizers(**kwargs):
+            report = sanitize_module.SanitizeReport(
+                backend="threaded", duration_s=0.1, workers=1, seed=0
+            )
+            report.findings.append(
+                Finding(
+                    rule_id="DYN-LOCK-CYCLE",
+                    severity=Severity.ERROR,
+                    path="x.py",
+                    line=1,
+                    message="planted",
+                )
+            )
+            return report
+
+        monkeypatch.setattr(
+            "repro.analysis.dynamic.run_sanitizers", fake_run_sanitizers
+        )
+        assert cli.main(["sanitize", "--no-replay"]) == 1
+        assert "DYN-LOCK-CYCLE" in capsys.readouterr().out
+
+    def test_backend_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sanitize", "--backend", "smoke-signal"])
+
+
 class TestExperimentCommand:
     def test_experiment_dispatch_uses_registry(self, capsys, monkeypatch):
         """The experiment subcommand resolves from EXPERIMENTS and prints

@@ -7,6 +7,14 @@ import pytest
 
 MODULES = [
     "repro",
+    "repro.analysis.dynamic",
+    "repro.analysis.dynamic.locks",
+    "repro.analysis.dynamic.lockorder",
+    "repro.analysis.dynamic.lockset",
+    "repro.analysis.dynamic.replay",
+    "repro.analysis.dynamic.sanitize",
+    "repro.analysis.dynamic.trace",
+    "repro.analysis.graphs",
     "repro.cluster.compute",
     "repro.cluster.instances",
     "repro.cluster.scenarios",
