@@ -18,6 +18,13 @@ Quickstart::
     print(specsync.speedup_over(baseline, workload.convergence))
 """
 
+from repro.obs.log import install_null_handler
+
+# Library etiquette: the package never configures logging output; the "repro"
+# logger tree stays silent unless the application attaches a handler (the CLI
+# does so for -v).
+install_null_handler()
+
 from repro.cluster import ClusterSpec, InstanceType, ComputeTimeModel, StragglerModel
 from repro.core import (
     AdaptiveTuner,

@@ -101,7 +101,9 @@ def record_event_stream() -> Iterator[List[EventFingerprint]]:
     try:
         yield stream
     finally:
-        Simulator.remove_tap()
+        # Remove only our own tap: other subscribers on the multi-tap
+        # bus (e.g. the repro.obs tracer) must survive a replay check.
+        Simulator.remove_tap(tap)
 
 
 @dataclass

@@ -42,12 +42,18 @@ __all__ = [
 
 #: Packages whose code must be a pure function of (seed, event timeline).
 #: ``repro.runtime`` is deliberately absent — it bridges to wall time.
+#: ``repro.obs`` *is* in the zone even though it supports wall-clock
+#: traces: the observability layer is clock-agnostic by construction
+#: (clocks are injected — ``FunctionClock(time.monotonic)`` is built at
+#: the call site in the exempt runtime), so any direct wall read or
+#: global-RNG use inside it is a bug these rules should catch.
 DETERMINISTIC_PACKAGES = (
     "repro.events",
     "repro.core",
     "repro.sync",
     "repro.ps",
     "repro.netsim",
+    "repro.obs",
 )
 
 #: Calls that read a wall clock.

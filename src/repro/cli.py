@@ -6,9 +6,14 @@ Subcommands::
     repro run --workload mf --scheme adaptive --workers 40
     repro compare --workload cifar10 --schemes original adaptive
     repro experiment fig8               # regenerate a paper table/figure
+    repro trace out.json                # summarize a --trace capture
     repro lint [--format json] [paths…] # codebase-specific static analysis
     repro sanitize [--backend threaded] # runtime sanitizers (locks, races,
                                         # replay determinism)
+
+``run``, ``compare`` and ``experiment`` accept ``--trace PATH`` to capture
+a Chrome trace-event (Perfetto) file of the whole invocation; ``-v``
+routes the :mod:`repro.obs` loggers to stderr.
 
 Every experiment the benchmark harness runs is reachable from here, so the
 paper's evaluation can be regenerated without pytest.
@@ -18,11 +23,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import os
 import sys
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional
 
 import repro
+from repro import obs
 from repro.analysis import Severity, render_json, render_text, run_lint
 
 from repro.cluster.spec import ClusterSpec
@@ -87,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="SpecSync reproduction: run workloads, compare schemes, "
                     "regenerate the paper's tables and figures.",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (-v info, -vv debug)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads, schemes, and experiments")
@@ -121,6 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("--scale", choices=["full", "smoke"],
                             default="full")
     exp_parser.add_argument("--seed", type=int, default=3)
+    exp_parser.add_argument(
+        "--trace", metavar="PATH",
+        help="capture a Chrome trace-event (Perfetto) file of the "
+             "whole experiment",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace", help="summarize a Chrome trace captured with --trace"
+    )
+    trace_parser.add_argument("path", help="trace JSON file to summarize")
+    trace_parser.add_argument("--format", choices=["text", "json"],
+                              default="text")
 
     lint_parser = sub.add_parser(
         "lint",
@@ -183,6 +207,36 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
                         help="virtual-time horizon in seconds")
     parser.add_argument("--no-early-stop", action="store_true",
                         help="run the full horizon even after convergence")
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="capture a Chrome trace-event (Perfetto) file of the "
+             "whole invocation",
+    )
+
+
+@contextmanager
+def _maybe_trace(args):
+    """Capture the whole command in a Chrome trace when ``--trace`` is set.
+
+    Enablement is process-wide (:func:`repro.obs.collecting`), so engines
+    and runtimes constructed arbitrarily deep inside the workload code pick
+    up the collector without any plumbing through their constructors.
+    """
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        yield
+        return
+    collector = obs.TraceCollector()
+    collector.metadata["command"] = args.command
+    for key in ("workload", "scheme", "name", "seed", "workers"):
+        value = getattr(args, key, None)
+        if value is not None:
+            collector.metadata[key] = value
+    with obs.collecting(collector):
+        yield
+    with open(trace_path, "w", encoding="utf-8") as handle:
+        count = obs.write_chrome_trace(collector, handle)
+    print(f"{count} trace events written to {trace_path}", file=sys.stderr)
 
 
 def _build_cluster(args) -> ClusterSpec:
@@ -307,6 +361,35 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            trace = obs.load_trace(handle)
+    except (OSError, ValueError) as exc:
+        print(f"repro trace: error: {exc}", file=sys.stderr)
+        return 2
+    summary = obs.summarize_trace(trace)
+    if args.format == "json":
+        print(json.dumps({
+            "total_events": summary.total_events,
+            "tracks": summary.tracks,
+            "spans": {
+                name: {"count": count, "total_us": total}
+                for name, (count, total) in sorted(summary.spans.items())
+            },
+            "instants": dict(sorted(summary.instants.items())),
+            "flow_pairs": dict(sorted(summary.flows.items())),
+            "unpaired_flows": summary.unpaired_flows,
+            "abort_flow_pairs": summary.abort_flow_pairs,
+            "counters": dict(sorted(summary.counters.items())),
+            "histograms": dict(sorted(summary.histograms.items())),
+            "metadata": dict(sorted(summary.metadata.items())),
+        }, indent=2))
+    else:
+        print(obs.render_summary(summary))
+    return 0
+
+
 def _gate_exit_code(findings, fail_on: str) -> int:
     """1 if any unsuppressed finding meets the ``--fail-on`` threshold.
 
@@ -357,14 +440,23 @@ def _cmd_sanitize(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        obs.attach_cli_handler(
+            logging.DEBUG if args.verbose > 1 else logging.INFO
+        )
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args)
+        with _maybe_trace(args):
+            return _cmd_run(args)
     if args.command == "compare":
-        return _cmd_compare(args)
+        with _maybe_trace(args):
+            return _cmd_compare(args)
     if args.command == "experiment":
-        return _cmd_experiment(args)
+        with _maybe_trace(args):
+            return _cmd_experiment(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "sanitize":

@@ -25,12 +25,18 @@ from __future__ import annotations
 
 import bisect
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.hyperparams import SpecSyncHyperparams
 from repro.core.tuning import EpochTrace, HyperparamTuner
+from repro.obs.core import NULL_TRACER, NullTracer, Tracer
+from repro.obs.log import get_logger
+from repro.obs.tracks import SCHEDULER_TRACK, resync_flow_key, worker_track
 
 __all__ = ["SpecSyncScheduler"]
+
+#: What the scheduler accepts as a tracer (live or the shared no-op).
+TracerLike = Union[Tracer, NullTracer]
 
 
 class SpecSyncScheduler:
@@ -44,6 +50,9 @@ class SpecSyncScheduler:
         now_fn: Callable[[], float],
         send_resync_fn: Callable[[int, int], None],
         span_window: int = 8,
+        tracer: Optional[TracerLike] = None,
+        worker_track_fn: Callable[[int], str] = worker_track,
+        self_track: str = SCHEDULER_TRACK,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -52,6 +61,13 @@ class SpecSyncScheduler:
         self._schedule = schedule_fn
         self._now = now_fn
         self._send_resync = send_resync_fn
+        #: Observability: the host (DES policy / runtime adapter) passes a
+        #: tracer bound to *its* clock, plus its track-name convention, so
+        #: the engine-agnostic scheduler never chooses a clock domain.
+        self.tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
+        self._worker_track = worker_track_fn
+        self._self_track = self_track
+        self._log = get_logger("scheduler")
 
         self.hyperparams: Optional[SpecSyncHyperparams] = tuner.initial()
 
@@ -87,6 +103,12 @@ class SpecSyncScheduler:
         if not 0 <= worker_id < self.num_workers:
             raise ValueError(f"unknown worker id {worker_id}")
         now = self._now()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self._self_track, "notify",
+                args={"worker": worker_id, "iteration": iteration},
+            )
+            self.tracer.count("scheduler.notifies")
         self._record_push(now, worker_id)
         self._advance_epoch(now, worker_id)
 
@@ -130,6 +152,15 @@ class SpecSyncScheduler:
         )
         self.hyperparams = self.tuner.retune(trace)
         self.epochs_completed += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self._self_track, "epoch_retuned",
+                args={"epoch": self.epochs_completed,
+                      "hyperparams": str(self.hyperparams)},
+            )
+        self._log.debug(
+            "epoch %d retuned: %s", self.epochs_completed, self.hyperparams
+        )
         self.hyperparam_log.append((now, self.hyperparams))
         self._epoch_started_at = now
         self._epoch_pushes = []
@@ -142,14 +173,72 @@ class SpecSyncScheduler:
         self.checks_run += 1
         now = self._now()
         count = self._peer_pushes_between(worker_id, window_start, now)
+        if self.tracer.enabled:
+            self.tracer.count("scheduler.checks")
         if count >= threshold:
             self.resyncs_sent += 1
+            if self.tracer.enabled:
+                self._trace_resync_decision(
+                    worker_id, window_start, iteration, threshold, count, now
+                )
+            self._log.debug(
+                "re-sync worker %d (iteration %d): %d peer pushes in "
+                "(%.6g, %.6g] >= threshold %.3g",
+                worker_id, iteration, count, window_start, now, threshold,
+            )
             self._send_resync(worker_id, iteration)
+
+    def _trace_resync_decision(
+        self,
+        worker_id: int,
+        window_start: float,
+        iteration: int,
+        threshold: float,
+        count: int,
+        now: float,
+    ) -> None:
+        """Emit the decision event and stage one causal-flow origin per
+        contributing peer push (plus the decision itself).  The engine
+        closes the key at the abort point; a re-sync that arrives too
+        late discards it, so only honored aborts grow arrows.
+        """
+        contributing = self._peer_push_events_between(
+            worker_id, window_start, now
+        )
+        self.tracer.instant(
+            self._self_track, "resync_decision", cat="abort",
+            args={"worker": worker_id, "iteration": iteration,
+                  "peer_pushes": count, "threshold": threshold,
+                  "window_start": round(window_start, 9)},
+        )
+        self.tracer.count("scheduler.resyncs_sent")
+        key = resync_flow_key(worker_id, iteration)
+        for push_time, pusher in contributing:
+            self.tracer.flow_begin(
+                key, self._worker_track(pusher), "abort", ts=push_time,
+                cat="abort", args={"pusher": pusher},
+            )
+        self.tracer.flow_begin(
+            key, self._self_track, "abort", ts=now, cat="abort",
+            args={"decision": True, "peer_pushes": count},
+        )
 
     def _peer_pushes_between(self, worker_id: int, start: float, end: float) -> int:
         lo = bisect.bisect_right(self._push_times, start)
         hi = bisect.bisect_right(self._push_times, end)
         return sum(1 for i in range(lo, hi) if self._push_workers[i] != worker_id)
+
+    def _peer_push_events_between(
+        self, worker_id: int, start: float, end: float
+    ) -> List[Tuple[float, int]]:
+        """(time, worker) of each peer push in (start, end] — the causal set."""
+        lo = bisect.bisect_right(self._push_times, start)
+        hi = bisect.bisect_right(self._push_times, end)
+        return [
+            (self._push_times[i], self._push_workers[i])
+            for i in range(lo, hi)
+            if self._push_workers[i] != worker_id
+        ]
 
     # ------------------------------------------------------------------
     # Introspection

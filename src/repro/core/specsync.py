@@ -77,6 +77,10 @@ class SpecSyncPolicy(SyncPolicy):
             schedule_fn=lambda delay, fn: engine.sim.schedule(delay, fn),
             now_fn=lambda: engine.now,
             send_resync_fn=self._send_resync,
+            # The scheduler shares the engine's virtual-time tracer, so its
+            # decision events land on the same timeline as the worker spans
+            # and the abort flow arrows pair up across the two layers.
+            tracer=engine.tracer,
         )
 
     # ------------------------------------------------------------------

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.events.event import Event
 
@@ -34,10 +34,13 @@ class Simulator:
     are expressed.
     """
 
-    #: Class-wide tap observing every fired event (see :meth:`install_tap`).
-    #: Class-level so instrumentation reaches simulators constructed deep
-    #: inside engine code the caller never sees.  ``None`` = no overhead.
-    _tap: Optional[EventTap] = None
+    #: Class-wide tap bus observing every fired event (see
+    #: :meth:`install_tap`).  Class-level so instrumentation reaches
+    #: simulators constructed deep inside engine code the caller never
+    #: sees.  An immutable tuple: installs/removals swap the whole bus,
+    #: so a tap firing mid-step never sees a half-updated list, and the
+    #: empty-bus fast path is a single truthiness check.
+    _taps: Tuple[EventTap, ...] = ()
 
     def __init__(self, start_time: float = 0.0):
         self.now = float(start_time)
@@ -51,23 +54,32 @@ class Simulator:
     # ------------------------------------------------------------------
     @classmethod
     def install_tap(cls, tap: EventTap) -> None:
-        """Install a process-wide event tap.
+        """Add a tap to the process-wide event tap bus.
 
-        The tap is called as ``tap(time, seq, fn, args)`` for every event,
-        on every simulator instance, immediately *before* the callback
-        runs — so a crashing callback still leaves its event on record.
-        Used by the replay-determinism sanitizer
-        (:mod:`repro.analysis.dynamic.replay`) to fingerprint the event
-        stream; at most one tap can be installed at a time.
+        Each tap is called as ``tap(time, seq, fn, args)`` for every
+        event, on every simulator instance, immediately *before* the
+        callback runs — so a crashing callback still leaves its event on
+        record.  Multiple taps may be installed (the replay-determinism
+        sanitizer and the ``repro.obs`` tracer coexist this way); they
+        fire in installation order, which keeps dispatch deterministic.
+        Installing the same tap object twice is an error.
         """
-        if cls._tap is not None:
-            raise SimulationError("an event tap is already installed")
-        cls._tap = tap
+        if tap in cls._taps:
+            raise SimulationError("this event tap is already installed")
+        cls._taps = cls._taps + (tap,)
 
     @classmethod
-    def remove_tap(cls) -> None:
-        """Remove the installed event tap (no-op if none is installed)."""
-        cls._tap = None
+    def remove_tap(cls, tap: Optional[EventTap] = None) -> None:
+        """Remove ``tap`` from the bus, or **all** taps when called bare.
+
+        No-op if the tap (or any tap) is not installed.  The bare form
+        is the historical single-slot API and what test harnesses use to
+        guarantee a clean bus.
+        """
+        if tap is None:
+            cls._taps = ()
+        else:
+            cls._taps = tuple(t for t in cls._taps if t is not tap)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -101,9 +113,10 @@ class Simulator:
             self.now = event.time
             event.fired = True
             self._events_fired += 1
-            tap = Simulator._tap
-            if tap is not None:
-                tap(event.time, event.seq, event.fn, event.args)
+            taps = Simulator._taps
+            if taps:
+                for tap in taps:
+                    tap(event.time, event.seq, event.fn, event.args)
             event.fn(*event.args)
             return True
         return False

@@ -10,10 +10,13 @@ from typing import Callable, Dict, List, Optional
 from repro.cluster.spec import ClusterSpec
 from repro.core.hyperparams import SpecSyncHyperparams
 from repro.core.specsync import SpecSyncPolicy
+from repro.obs.log import get_logger
 from repro.ps.policy import SyncPolicy
 from repro.ps.result import RunResult
 from repro.sync import AspPolicy, BspPolicy, SspPolicy
 from repro.workloads.base import Workload
+
+_log = get_logger("experiments")
 
 __all__ = [
     "ExperimentScale",
@@ -108,9 +111,19 @@ def run_scheme(
     **kwargs,
 ) -> RunResult:
     """Run one (workload, cluster, scheme, seed) cell."""
-    return workload.run(
+    _log.info(
+        "running %s / %s on %s (seed %d)",
+        workload.name, scheme.key, cluster.describe(), seed,
+    )
+    result = workload.run(
         cluster, scheme.make(), seed=seed, horizon_s=horizon_s, **kwargs
     )
+    _log.info(
+        "finished %s / %s: %d iterations, %d aborts, final loss %.4f",
+        workload.name, scheme.key, result.total_iterations,
+        result.total_aborts, result.final_loss,
+    )
+    return result
 
 
 def mean(values: List[float]) -> float:

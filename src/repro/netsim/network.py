@@ -20,6 +20,8 @@ import numpy as np
 from repro.events import Simulator
 from repro.netsim.ledger import TransferLedger
 from repro.netsim.messages import Message
+from repro.obs.clock import VirtualClock
+from repro.obs.core import tracer_for
 from repro.utils.validation import check_non_negative, check_positive
 
 __all__ = ["LinkModel", "Network"]
@@ -98,6 +100,10 @@ class Network:
         self._node_busy_until: dict = {}
         self._messages_sent = 0
         self._messages_delivered = 0
+        #: Observability: mirrors the ledger's accounting into live
+        #: counters (bytes/messages per transfer category).  The shared
+        #: no-op tracer when observability is disabled.
+        self.tracer = tracer_for(VirtualClock(sim))
 
     def _link_for(self, src: str, dst: str) -> LinkModel:
         if not self.node_bandwidth:
@@ -144,6 +150,13 @@ class Network:
     ) -> None:
         if account:
             self.ledger.record(self.sim.now, message)
+            if self.tracer.enabled:
+                category = message.kind.category
+                self.tracer.count(f"net.bytes.{category}", message.size_bytes)
+                self.tracer.count(f"net.messages.{category}")
+                self.tracer.observe(
+                    "net.transfer_s", self.sim.now - message.sent_at
+                )
         self._messages_delivered += 1
         on_delivery(message)
 

@@ -1,0 +1,80 @@
+"""Structured logging for the repro package, done the stdlib way.
+
+The ``repro`` root logger carries a ``NullHandler`` (installed from
+``repro/__init__``), so importing the library never prints anything and
+never trips the "No handlers could be found" warning; applications — and
+the CLI via ``-v`` — opt into output by attaching their own handler.
+
+Subsystems log through children of the root (``repro.engine``,
+``repro.scheduler``, ``repro.experiments`` …) obtained from
+:func:`get_logger`.  DES code paths wrap theirs in a
+:class:`VirtualTimeLoggerAdapter` so every line is stamped with the
+*virtual* clock — the only time that means anything inside a simulated
+run — without the logging layer ever touching the wall clock itself
+(record wall timestamps still come from the logging module; the adapter
+only adds the simulation time to the message).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, MutableMapping, Tuple
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "install_null_handler",
+    "get_logger",
+    "VirtualTimeLoggerAdapter",
+    "attach_cli_handler",
+]
+
+ROOT_LOGGER_NAME = "repro"
+
+
+def install_null_handler() -> None:
+    """Give the ``repro`` root logger a ``NullHandler`` (idempotent)."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """The child logger for one subsystem, e.g. ``get_logger("engine")``."""
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{subsystem}")
+
+
+class VirtualTimeLoggerAdapter(logging.LoggerAdapter):
+    """Prefixes every message with the current virtual time.
+
+    ``now_fn`` is the simulation clock (``lambda: sim.now`` or the
+    engine's ``now`` property); it is read lazily at emit time so one
+    adapter serves a whole run.
+    """
+
+    def __init__(
+        self, logger: logging.Logger, now_fn: Callable[[], float]
+    ) -> None:
+        super().__init__(logger, {})
+        self._now_fn = now_fn
+
+    def process(
+        self, msg: object, kwargs: MutableMapping
+    ) -> Tuple[str, MutableMapping]:
+        return f"[vt={self._now_fn():.6g}s] {msg}", kwargs
+
+
+def attach_cli_handler(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` root (the CLI's ``-v``).
+
+    Returns the handler so callers (tests) can detach it again.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+    )
+    handler.setLevel(level)
+    root.addHandler(handler)
+    if root.level == logging.NOTSET or root.level > level:
+        root.setLevel(level)
+    return handler

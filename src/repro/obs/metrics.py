@@ -1,0 +1,154 @@
+"""A small metrics registry: named counters and histograms with snapshots.
+
+Instruments are created lazily by name and live for the length of one
+collection (a run, an experiment).  The registry is shared between the
+DES and the runtime backends, so instrument *creation* is guarded by a
+lock; single increments/observations are intentionally plain attribute
+updates — under CPython's GIL an occasional lost increment from two
+racing runtime threads is acceptable for telemetry, and the DES path is
+single-threaded anyway.
+
+Snapshots are deterministic: instruments render sorted by name, so a
+seeded DES run produces byte-identical metric reports.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds (seconds-flavored but unitless):
+#: covers microseconds to hours with ~3 buckets per decade.
+_DEFAULT_BUCKETS = tuple(
+    base * scale
+    for scale in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3)
+    for base in (1.0, 2.5, 5.0)
+)
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease: {amount}")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        """Current value."""
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value:g})"
+
+
+class Histogram:
+    """Aggregates observations: count/sum/min/max plus coarse buckets."""
+
+    def __init__(self, name: str, buckets: Optional[tuple] = None) -> None:
+        self.name = name
+        self.bounds = tuple(buckets) if buckets is not None else _DEFAULT_BUCKETS
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +1 = overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Mean of all observations (None when empty)."""
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def snapshot(self) -> dict:
+        """Aggregate view (buckets omitted when empty)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean})"
+
+
+class MetricsRegistry:
+    """Lazily-created named instruments with a deterministic snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name``, created on first use."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram(name))
+        return histogram
+
+    def snapshot(self) -> dict:
+        """All instruments, sorted by name — JSON-ready and deterministic."""
+        return {
+            "counters": {
+                name: self._counters[name].snapshot()
+                for name in sorted(self._counters)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def render_text(self) -> str:
+        """Human-readable snapshot, one instrument per line."""
+        lines: List[str] = []
+        snap = self.snapshot()
+        for name, value in snap["counters"].items():
+            lines.append(f"counter   {name} = {value:g}")
+        for name, agg in snap["histograms"].items():
+            mean = f"{agg['mean']:.6g}" if agg["mean"] is not None else "-"
+            lines.append(
+                f"histogram {name}: count={agg['count']} mean={mean} "
+                f"min={agg['min']} max={agg['max']}"
+            )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)})"
+        )

@@ -1,0 +1,148 @@
+"""Text summaries of exported traces — the read side of ``repro trace``.
+
+Works from the JSON file (not the live collector), so a trace captured on
+one machine can be summarized on another, and the summary doubles as a
+sanity check that the export is well-formed Chrome trace-event JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Dict, List, Optional, Tuple
+
+from repro.utils.tables import TextTable
+
+__all__ = ["TraceSummary", "summarize_trace", "load_trace", "render_summary"]
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates extracted from one trace file."""
+
+    total_events: int = 0
+    tracks: int = 0
+    #: span name -> (count, total duration in µs)
+    spans: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+    #: instant name -> count
+    instants: Dict[str, int] = field(default_factory=dict)
+    #: flow name -> complete (start, finish) pair count
+    flows: Dict[str, int] = field(default_factory=dict)
+    unpaired_flows: int = 0
+    counters: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, dict] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def abort_flow_pairs(self) -> int:
+        """Complete causal arrows in the abort category."""
+        return self.flows.get("abort", 0)
+
+
+def load_trace(source: IO[str]) -> dict:
+    """Parse a trace file, validating the minimal structure we rely on."""
+    trace = json.load(source)
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError(
+            "not a Chrome trace-event file (missing 'traceEvents'); "
+            "was this written by --trace?"
+        )
+    if not isinstance(trace["traceEvents"], list):
+        raise ValueError("'traceEvents' must be a list")
+    return trace
+
+
+def summarize_trace(trace: dict) -> TraceSummary:
+    """Reduce a parsed trace object to a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    events = trace["traceEvents"]
+    summary.total_events = len(events)
+    open_flows: Dict[object, str] = {}
+    tracks = set()
+    for event in events:
+        phase = event.get("ph")
+        name = event.get("name", "<unnamed>")
+        if phase == "M":
+            if name == "thread_name":
+                tracks.add((event.get("pid"), event.get("tid")))
+            continue
+        if phase == "X":
+            count, dur = summary.spans.get(name, (0, 0.0))
+            summary.spans[name] = (count + 1, dur + float(event.get("dur", 0.0)))
+        elif phase == "i":
+            summary.instants[name] = summary.instants.get(name, 0) + 1
+        elif phase == "s":
+            open_flows[event.get("id")] = name
+        elif phase == "f":
+            started = open_flows.pop(event.get("id"), None)
+            if started is None:
+                summary.unpaired_flows += 1
+            else:
+                summary.flows[started] = summary.flows.get(started, 0) + 1
+    summary.unpaired_flows += len(open_flows)
+    summary.tracks = len(tracks)
+
+    metrics = trace.get("metrics", {})
+    summary.counters = dict(metrics.get("counters", {}))
+    summary.histograms = dict(metrics.get("histograms", {}))
+    summary.metadata = dict(trace.get("otherData", {}))
+    return summary
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """Human-readable report: spans, counters, and abort causality."""
+    lines: List[str] = []
+    context = ", ".join(
+        f"{key}={summary.metadata[key]}"
+        for key in sorted(summary.metadata)
+        if key != "format_version"
+    )
+    header = f"{summary.total_events} trace events on {summary.tracks} tracks"
+    if context:
+        header += f" ({context})"
+    lines.append(header)
+
+    if summary.spans:
+        table = TextTable(["span", "count", "total ms", "mean ms"], title="spans")
+        for name in sorted(summary.spans):
+            count, total_us = summary.spans[name]
+            table.add_row(
+                [
+                    name,
+                    str(count),
+                    f"{total_us / 1000:.3f}",
+                    f"{total_us / count / 1000:.3f}",
+                ]
+            )
+        lines.append(table.render())
+
+    if summary.instants:
+        table = TextTable(["instant", "count"], title="instant events")
+        for name in sorted(summary.instants):
+            table.add_row([name, str(summary.instants[name])])
+        lines.append(table.render())
+
+    if summary.counters or summary.histograms:
+        table = TextTable(["metric", "value"], title="metrics")
+        for name in sorted(summary.counters):
+            table.add_row([name, f"{summary.counters[name]:g}"])
+        for name in sorted(summary.histograms):
+            agg = summary.histograms[name]
+            mean: Optional[float] = agg.get("mean")
+            rendered = f"count={agg.get('count')}"
+            if mean is not None:
+                rendered += f" mean={mean:.6g}"
+            table.add_row([name, rendered])
+        lines.append(table.render())
+
+    causality = (
+        f"abort causality: {summary.abort_flow_pairs} complete flow pairs"
+    )
+    total_pairs = sum(summary.flows.values())
+    other_pairs = total_pairs - summary.abort_flow_pairs
+    if other_pairs:
+        causality += f", {other_pairs} other"
+    if summary.unpaired_flows:
+        causality += f", {summary.unpaired_flows} unpaired"
+    lines.append(causality)
+    return "\n\n".join(lines)

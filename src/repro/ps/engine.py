@@ -38,6 +38,10 @@ from repro.ml.optim import SgdUpdateRule
 from repro.netsim.ledger import TransferLedger
 from repro.netsim.messages import CONTROL_MESSAGE_BYTES, Message, MessageKind
 from repro.netsim.network import LinkModel, Network
+from repro.obs.clock import VirtualClock
+from repro.obs.core import tracer_for
+from repro.obs.log import VirtualTimeLoggerAdapter, get_logger
+from repro.obs.tracks import SERVER_TRACK, resync_flow_key, worker_track
 from repro.ps.policy import SyncPolicy, WorkerView
 from repro.ps.result import RunResult, WorkerStats
 from repro.ps.store import ParameterStore, PullSnapshot
@@ -121,6 +125,10 @@ class WorkerRuntime:
         self.compute_event = None
         self.compute_started_at = 0.0
         self.aborts_in_iteration = 0
+        # Span anchors (observability): when the in-flight pull/push began.
+        self.pull_issued_at = 0.0
+        self.push_started_at = 0.0
+        self.track = worker_track(worker_id)
 
         # Counters
         self.pulls = 0
@@ -200,6 +208,13 @@ class TrainingEngine:
         )
         self.traces = TraceRecorder()
         self.curve = LossCurve()
+        # Observability: live against the enabled collector, or the shared
+        # no-op tracer (the default).  Bound at construction — enable
+        # observability (repro.obs.collecting) *before* building engines.
+        self.tracer = tracer_for(VirtualClock(self.sim))
+        self._log = VirtualTimeLoggerAdapter(
+            get_logger("engine"), lambda: self.sim.now
+        )
 
         self.workers: List[WorkerRuntime] = []
         for i, node in enumerate(cluster.nodes):
@@ -271,11 +286,14 @@ class TrainingEngine:
         the "too late" cases of paper Section IV-A.
         """
         worker = self.workers[worker_id]
-        if self._stopped or not worker.computing:
-            return False
-        if worker.iteration != for_iteration:
-            return False
-        if worker.aborts_in_iteration >= self.config.max_aborts_per_iteration:
+        if (
+            self._stopped
+            or not worker.computing
+            or worker.iteration != for_iteration
+            or worker.aborts_in_iteration >= self.config.max_aborts_per_iteration
+        ):
+            # Too late: drop any causal-flow origins the scheduler staged.
+            self.tracer.flow_discard(resync_flow_key(worker_id, for_iteration))
             return False
 
         worker.compute_event.cancel()
@@ -283,6 +301,28 @@ class TrainingEngine:
         wasted = self.sim.now - worker.compute_started_at
         worker.aborts += 1
         worker.aborts_in_iteration += 1
+        if self.tracer.enabled:
+            # The aborted portion of the compute, the abort point itself,
+            # and the causal arrows from the peer pushes (and scheduler
+            # decision) that triggered this re-sync.
+            self.tracer.span(
+                worker.track, "compute", start=worker.compute_started_at,
+                args={"iteration": worker.iteration, "aborted": True,
+                      "wasted_s": round(wasted, 9)},
+            )
+            self.tracer.instant(
+                worker.track, "abort", cat="abort",
+                args={"iteration": worker.iteration},
+            )
+            self.tracer.flow_end(
+                resync_flow_key(worker_id, for_iteration), worker.track
+            )
+            self.tracer.count("engine.aborts")
+            self.tracer.observe("engine.wasted_compute_s", wasted)
+        self._log.debug(
+            "worker %d aborted iteration %d (wasted %.3gs)",
+            worker_id, worker.iteration, wasted,
+        )
         self.traces.record_abort(
             AbortEvent(
                 time=self.sim.now,
@@ -315,11 +355,21 @@ class TrainingEngine:
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute the run and return its results."""
+        self._log.info(
+            "run start: %s/%s, %d workers, horizon %.6gs",
+            self.workload_name, self.policy.name, self.num_workers,
+            self.config.horizon_s,
+        )
         for worker in self.workers:
             self._start_next_iteration(worker)
         self._schedule_eval()
         self.sim.run(until=self.config.horizon_s, stop_when=lambda: self._stopped)
         self.policy.on_run_end()
+        self._log.info(
+            "run end: %d iterations, %d aborts, %d events fired",
+            self.store.version, sum(w.aborts for w in self.workers),
+            self.sim.events_fired,
+        )
         return self._build_result()
 
     # ------------------------------------------------------------------
@@ -345,6 +395,7 @@ class TrainingEngine:
             self._issue_pull(worker, False)
 
     def _issue_pull(self, worker: WorkerRuntime, is_restart: bool) -> None:
+        worker.pull_issued_at = self.sim.now
         request = Message(
             kind=MessageKind.PULL_REQUEST,
             src=worker.node_name,
@@ -377,6 +428,13 @@ class TrainingEngine:
             return
         worker.snapshot = snapshot
         worker.pulls += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                worker.track, "pull", start=worker.pull_issued_at,
+                args={"iteration": worker.iteration,
+                      "version": snapshot.version, "restart": is_restart},
+            )
+            self.tracer.count("engine.pulls")
         self.traces.record_pull(
             PullEvent(
                 time=self.sim.now,
@@ -402,6 +460,12 @@ class TrainingEngine:
 
     def _on_compute_done(self, worker: WorkerRuntime) -> None:
         worker.computing = False
+        if self.tracer.enabled:
+            self.tracer.span(
+                worker.track, "compute", start=worker.compute_started_at,
+                args={"iteration": worker.iteration, "aborted": False},
+            )
+        worker.push_started_at = self.sim.now
         _, gradient = self.model.loss_and_grad(worker.snapshot.params, worker.batch)
         push = Message(
             kind=MessageKind.PUSH,
@@ -418,6 +482,15 @@ class TrainingEngine:
         record = self.store.apply_push(
             worker.worker_id, gradient, snapshot_version, self.sim.now
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                SERVER_TRACK, "push_applied",
+                args={"worker": worker.worker_id,
+                      "version_after": record.version_after,
+                      "staleness": record.staleness},
+            )
+            self.tracer.count("engine.pushes")
+            self.tracer.observe("engine.staleness", record.staleness)
         self.traces.record_push(
             PushEvent(
                 time=self.sim.now,
@@ -442,6 +515,18 @@ class TrainingEngine:
         worker.all_spans.append(span)
         if worker.aborts_in_iteration == 0:
             worker.clean_spans.append(span)
+        if self.tracer.enabled:
+            self.tracer.span(
+                worker.track, "push", start=worker.push_started_at,
+                args={"iteration": worker.iteration},
+            )
+            self.tracer.span(
+                worker.track, "iteration", start=worker.iteration_started_at,
+                cat="iteration",
+                args={"iteration": worker.iteration,
+                      "aborts": worker.aborts_in_iteration},
+            )
+            self.tracer.observe("engine.iteration_s", span)
         worker.pushes += 1
         worker.iteration += 1
         worker.batch = None
@@ -463,6 +548,12 @@ class TrainingEngine:
         accuracy = None
         if self._accuracy_fn is not None:
             accuracy = self._accuracy_fn(self.store.params, self.eval_batch)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                SERVER_TRACK, "eval",
+                args={"loss": round(float(loss), 9),
+                      "total_iterations": self.store.version},
+            )
         self.curve.add(
             EvalPoint(
                 time=self.sim.now,

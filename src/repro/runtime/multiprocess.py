@@ -25,6 +25,15 @@ from repro.core.tuning import HyperparamTuner
 from repro.ml.datasets.base import Partition
 from repro.ml.models.base import Model
 from repro.ml.optim import SgdUpdateRule
+from repro.obs.clock import FunctionClock
+from repro.obs.core import tracer_for
+from repro.obs.log import get_logger
+from repro.obs.tracks import (
+    RT_RUN_TRACK,
+    RT_SCHEDULER_TRACK,
+    resync_flow_key,
+    rt_worker_track,
+)
 from repro.utils.rng import RngStreams
 
 __all__ = [
@@ -219,6 +228,11 @@ class MultiprocessRun:
             raise ValueError(f"duration_s must be positive, got {duration_s}")
         ctx = mp.get_context("fork")
         num_workers = len(self.partitions)
+        # Parent-side observability only: child processes have no access to
+        # the collector (no shared memory), so the parent traces what it can
+        # see — the notify stream, scheduler decisions, and abort signals.
+        tracer = tracer_for(FunctionClock(time.monotonic))
+        log = get_logger("runtime")
 
         request_queue = ctx.Queue()
         response_queues = [ctx.Queue() for _ in range(num_workers)]
@@ -257,53 +271,82 @@ class MultiprocessRun:
         if self.tuner is not None:
             from repro.runtime.threaded import _ThreadSafeScheduler
 
+            def send_resync(worker_id: int, iteration: int) -> None:
+                if tracer.enabled:
+                    # Close the scheduler's staged causal flow at the moment
+                    # the abort signal crosses into the worker process.
+                    tracer.flow_end(
+                        resync_flow_key(worker_id, iteration),
+                        rt_worker_track(worker_id),
+                    )
+                    tracer.instant(
+                        rt_worker_track(worker_id), "resync_signal",
+                        cat="abort", args={"worker": worker_id},
+                    )
+                abort_events[worker_id].set()
+
             scheduler = _ThreadSafeScheduler(
                 num_workers=num_workers,
                 tuner=self.tuner,
-                send_resync=lambda worker_id, _it: abort_events[worker_id].set(),
+                send_resync=send_resync,
+                tracer=tracer,
             )
 
-        started = time.monotonic()
-        server.start()
-        for worker in workers:
-            worker.start()
-
-        # Drain notify messages into the scheduler until the clock runs out.
-        deadline = started + duration_s
-        while time.monotonic() < deadline:
-            try:
-                worker_id, iteration = notify_queue.get(
-                    timeout=min(_POLL_S, max(deadline - time.monotonic(), 1e-4))
-                )
-            except queue_module.Empty:
-                continue
-            if scheduler is not None:
-                scheduler.handle_notify(worker_id, iteration)
-
-        stop_event.set()
-        for event in abort_events:
-            event.set()  # release in-flight waits
-
-        per_worker: Dict[int, int] = {}
-        total_aborts = 0
-        for _ in range(num_workers):
-            worker_id, iterations, aborts = stats_queue.get(timeout=10.0)
-            per_worker[worker_id] = iterations
-            total_aborts += aborts
-
-        for worker in workers:
-            worker.join(timeout=10.0)
-
-        # Final server snapshot, then shut the server down (the server keeps
-        # serving after worker stop so late pushes and this request drain).
-        request_queue.put(("stats",))
-        _, version, mean_staleness, final_params = stats_reply_queue.get(
-            timeout=10.0
+        log.info(
+            "multiprocess run: %d workers for %.3gs wall",
+            num_workers, duration_s,
         )
-        server_stop.set()
-        server.join(timeout=10.0)
-        if scheduler is not None:
-            scheduler.close()
+        started = time.monotonic()
+        with tracer.measure(RT_RUN_TRACK, "run"):
+            server.start()
+            for worker in workers:
+                worker.start()
+
+            # Drain notify messages into the scheduler until the clock
+            # runs out.
+            deadline = started + duration_s
+            while time.monotonic() < deadline:
+                try:
+                    worker_id, iteration = notify_queue.get(
+                        timeout=min(
+                            _POLL_S, max(deadline - time.monotonic(), 1e-4)
+                        )
+                    )
+                except queue_module.Empty:
+                    continue
+                if tracer.enabled:
+                    tracer.count("rt.notifies_drained")
+                if scheduler is not None:
+                    scheduler.handle_notify(worker_id, iteration)
+
+            stop_event.set()
+            for event in abort_events:
+                event.set()  # release in-flight waits
+
+            per_worker: Dict[int, int] = {}
+            total_aborts = 0
+            with tracer.measure(RT_SCHEDULER_TRACK, "collect_stats"):
+                for _ in range(num_workers):
+                    worker_id, iterations, aborts = stats_queue.get(
+                        timeout=10.0
+                    )
+                    per_worker[worker_id] = iterations
+                    total_aborts += aborts
+
+                for worker in workers:
+                    worker.join(timeout=10.0)
+
+                # Final server snapshot, then shut the server down (the
+                # server keeps serving after worker stop so late pushes and
+                # this request drain).
+                request_queue.put(("stats",))
+                _, version, mean_staleness, final_params = stats_reply_queue.get(
+                    timeout=10.0
+                )
+                server_stop.set()
+                server.join(timeout=10.0)
+            if scheduler is not None:
+                scheduler.close()
         wall = time.monotonic() - started
 
         inner = scheduler.inner if scheduler is not None else None

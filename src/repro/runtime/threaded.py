@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,7 +29,20 @@ from repro.ml.datasets.base import Partition
 from repro.ml.models.base import Model
 from repro.ml.optim import SgdUpdateRule
 from repro.ml.params import ParamSet
+from repro.obs.clock import FunctionClock
+from repro.obs.core import NULL_TRACER, NullTracer, Tracer
+from repro.obs.core import tracer_for
+from repro.obs.log import get_logger
+from repro.obs.tracks import (
+    RT_RUN_TRACK,
+    RT_SCHEDULER_TRACK,
+    RT_SERVER_TRACK,
+    resync_flow_key,
+    rt_worker_track,
+)
 from repro.utils.rng import RngStreams
+
+TracerLike = Union[Tracer, NullTracer]
 
 __all__ = [
     "ThreadedParameterServer",
@@ -71,26 +84,37 @@ def uninstall_threading_shim() -> None:
 class ThreadedParameterServer:
     """The global parameters behind a lock, with version stamping."""
 
-    def __init__(self, initial_params: ParamSet, update_rule: SgdUpdateRule):
+    def __init__(
+        self,
+        initial_params: ParamSet,
+        update_rule: SgdUpdateRule,
+        tracer: Optional[TracerLike] = None,
+    ):
         self._params = initial_params.copy()
         self._update_rule = update_rule
         self._lock = threading.Lock()
         self._version = 0
         self._staleness_log: List[int] = []
+        self.tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
 
     def pull(self) -> Tuple[ParamSet, int]:
         """A consistent snapshot and its version."""
-        with self._lock:
-            return self._params.copy(), self._version
+        with self.tracer.measure(RT_SERVER_TRACK, "pull"):
+            with self._lock:
+                return self._params.copy(), self._version
 
     def push(self, gradient: ParamSet, snapshot_version: int) -> int:
         """Apply one gradient; returns the staleness it experienced."""
-        with self._lock:
-            staleness = self._version - snapshot_version
-            self._update_rule.apply(self._params, gradient)
-            self._version += 1
-            self._staleness_log.append(staleness)
-            return staleness
+        with self.tracer.measure(RT_SERVER_TRACK, "push"):
+            with self._lock:
+                staleness = self._version - snapshot_version
+                self._update_rule.apply(self._params, gradient)
+                self._version += 1
+                self._staleness_log.append(staleness)
+        if self.tracer.enabled:
+            self.tracer.count("rt.pushes")
+            self.tracer.observe("rt.staleness", staleness)
+        return staleness
 
     @property
     def version(self) -> int:
@@ -113,6 +137,7 @@ class _ThreadSafeScheduler:
         num_workers: int,
         tuner: HyperparamTuner,
         send_resync,
+        tracer: Optional[TracerLike] = None,
     ):
         self._lock = threading.RLock()
         self._timers: List[threading.Timer] = []
@@ -123,6 +148,11 @@ class _ThreadSafeScheduler:
             schedule_fn=self._schedule,
             now_fn=time.monotonic,
             send_resync_fn=send_resync,
+            # Wall-clock tracer + runtime track names: the identical
+            # Algorithm 2 logic reports on the wall-time domain here.
+            tracer=tracer,
+            worker_track_fn=rt_worker_track,
+            self_track=RT_SCHEDULER_TRACK,
         )
 
     def _schedule(self, delay: float, fn) -> None:
@@ -195,8 +225,11 @@ class ThreadedWorker(threading.Thread):
         stop_event: threading.Event,
         scheduler: Optional[_ThreadSafeScheduler] = None,
         max_aborts_per_iteration: int = 1,
+        tracer: Optional[TracerLike] = None,
     ):
         super().__init__(name=f"worker-{worker_id}", daemon=True)
+        self.tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
+        self.track = rt_worker_track(worker_id)
         self.worker_id = worker_id
         self.server = server
         self.model = model
@@ -216,6 +249,11 @@ class ThreadedWorker(threading.Thread):
 
     def request_resync(self) -> None:
         """Called by the scheduler adapter: abort the in-flight computation."""
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.track, "resync_signal", cat="abort",
+                args={"worker": self.worker_id},
+            )
         self.abort_event.set()
 
     def run(self) -> None:  # pragma: no cover - exercised via integration tests
@@ -223,29 +261,44 @@ class ThreadedWorker(threading.Thread):
             self._one_iteration()
 
     def _one_iteration(self) -> None:
-        batch = self.partition.sample_batch(self.batch_rng, self.batch_size)
-        snapshot, version = self.server.pull()
-        aborts_left = self.max_aborts_per_iteration
-        while True:
-            duration = self.compute_model.sample(self.compute_rng) * self.time_scale
-            interrupted = self.abort_event.wait(timeout=duration)
-            if self.stop_event.is_set():
-                return
-            if interrupted and aborts_left > 0:
-                # Re-sync: discard the wait, pull fresher parameters,
-                # restart the same batch (Algorithm 2, worker lines 5-7).
-                self.abort_event.clear()
+        iteration_scope = self.tracer.measure(
+            self.track, "iteration", cat="iteration"
+        )
+        with iteration_scope:
+            batch = self.partition.sample_batch(self.batch_rng, self.batch_size)
+            with self.tracer.measure(self.track, "pull"):
                 snapshot, version = self.server.pull()
-                self.aborts += 1
-                aborts_left -= 1
-                continue
-            self.abort_event.clear()
-            break
-        _, gradient = self.model.loss_and_grad(snapshot, batch)
-        self.server.push(gradient, version)
-        self.iterations += 1
-        if self.scheduler is not None:
-            self.scheduler.handle_notify(self.worker_id, self.iterations)
+            aborts_left = self.max_aborts_per_iteration
+            while True:
+                duration = (
+                    self.compute_model.sample(self.compute_rng) * self.time_scale
+                )
+                interrupted = self.abort_event.wait(timeout=duration)
+                if self.stop_event.is_set():
+                    return
+                if interrupted and aborts_left > 0:
+                    # Re-sync: discard the wait, pull fresher parameters,
+                    # restart the same batch (Algorithm 2, worker lines 5-7).
+                    self.abort_event.clear()
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            self.track, "abort", cat="abort",
+                            args={"worker": self.worker_id},
+                        )
+                        self.tracer.count("rt.aborts")
+                    with self.tracer.measure(self.track, "pull"):
+                        snapshot, version = self.server.pull()
+                    self.aborts += 1
+                    aborts_left -= 1
+                    continue
+                self.abort_event.clear()
+                break
+            _, gradient = self.model.loss_and_grad(snapshot, batch)
+            with self.tracer.measure(self.track, "push"):
+                self.server.push(gradient, version)
+            self.iterations += 1
+            if self.scheduler is not None:
+                self.scheduler.handle_notify(self.worker_id, self.iterations)
 
 
 @dataclass
@@ -284,8 +337,14 @@ class ThreadedRun:
         streams = RngStreams(seed)
         self.model = model
         self.eval_batch = eval_batch
+        # Wall-clock tracer: the runtime is the only layer allowed to read
+        # real time, so it injects the clock into the (clock-agnostic) obs
+        # layer here.  The shared no-op when observability is disabled.
+        self.tracer = tracer_for(FunctionClock(time.monotonic))
+        self._log = get_logger("runtime")
         self.server = ThreadedParameterServer(
-            model.init_params(streams.get("init")), update_rule
+            model.init_params(streams.get("init")), update_rule,
+            tracer=self.tracer,
         )
         self.stop_event = threading.Event()
 
@@ -295,6 +354,7 @@ class ThreadedRun:
                 num_workers=len(partitions),
                 tuner=tuner,
                 send_resync=self._send_resync,
+                tracer=self.tracer,
             )
 
         self.workers = [
@@ -311,6 +371,7 @@ class ThreadedRun:
                 stop_event=self.stop_event,
                 scheduler=self.scheduler,
                 max_aborts_per_iteration=max_aborts_per_iteration,
+                tracer=self.tracer,
             )
             for i, partition in enumerate(partitions)
         ]
@@ -319,6 +380,12 @@ class ThreadedRun:
         # The threaded worker guards against late re-syncs itself (the
         # abort flag is cleared at each iteration boundary), so the
         # iteration tag needs no extra check here.
+        if self.tracer.enabled:
+            # Close the causal flow the scheduler staged for this decision:
+            # arrows land on the worker's track at the signal time.
+            self.tracer.flow_end(
+                resync_flow_key(worker_id, iteration), rt_worker_track(worker_id)
+            )
         self.workers[worker_id].request_resync()
 
     def run(self, duration_s: float = 0.5) -> ThreadedRunResult:
@@ -330,19 +397,24 @@ class ThreadedRun:
         """
         if duration_s <= 0:
             raise ValueError(f"duration_s must be positive, got {duration_s}")
+        self._log.info(
+            "threaded run: %d workers for %.3gs wall",
+            len(self.workers), duration_s,
+        )
         started = time.monotonic()
-        try:
-            for worker in self.workers:
-                worker.start()
-            time.sleep(duration_s)
-        finally:
-            self.stop_event.set()
-            for worker in self.workers:
-                worker.abort_event.set()  # release any in-flight waits
-                if worker.is_alive():
-                    worker.join(timeout=5.0)
-            if self.scheduler is not None:
-                self.scheduler.close()
+        with self.tracer.measure(RT_RUN_TRACK, "run"):
+            try:
+                for worker in self.workers:
+                    worker.start()
+                time.sleep(duration_s)
+            finally:
+                self.stop_event.set()
+                for worker in self.workers:
+                    worker.abort_event.set()  # release any in-flight waits
+                    if worker.is_alive():
+                        worker.join(timeout=5.0)
+                if self.scheduler is not None:
+                    self.scheduler.close()
         wall = time.monotonic() - started
 
         final_params, _ = self.server.pull()

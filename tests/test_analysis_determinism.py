@@ -53,7 +53,9 @@ def test_wallclock_allows_virtual_clock_use():
 
 
 @pytest.mark.parametrize(
-    "package", ["repro.core.x", "repro.sync.x", "repro.ps.x", "repro.netsim.x"]
+    "package",
+    ["repro.core.x", "repro.sync.x", "repro.ps.x", "repro.netsim.x",
+     "repro.obs.x"],
 )
 def test_wallclock_covers_every_zone_package(package):
     only_rule(

@@ -243,3 +243,82 @@ class TestExperimentCommand:
     def test_all_registered_experiments_are_callable(self):
         for name, driver in EXPERIMENTS.items():
             assert callable(driver), name
+
+
+class TestTraceCapture:
+    """--trace capture on run, and the `repro trace` summary command."""
+
+    def test_run_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["run", "--workload", "tiny", "--workers", "3", "--seed", "3",
+             "--scheme", "adaptive", "--horizon", "30",
+             "--trace", str(trace_path)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "trace events written" in err
+
+        trace = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert trace["otherData"]["workload"] == "tiny"
+        assert trace["otherData"]["scheme"] == "adaptive"
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert {"M", "X", "i"} <= phases
+        # SpecSync on the tiny workload aborts: causality arrows exist.
+        assert "s" in phases and "f" in phases
+
+    def test_trace_command_summarizes(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["run", "--workload", "tiny", "--workers", "3", "--seed", "3",
+             "--scheme", "adaptive", "--horizon", "30",
+             "--trace", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace events on" in out
+        assert "abort causality" in out
+        assert "iteration" in out
+
+    def test_trace_command_json_format(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["run", "--workload", "tiny", "--workers", "2", "--seed", "1",
+             "--scheme", "original", "--horizon", "10",
+             "--trace", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["total_events"] > 0
+        assert "iteration" in summary["spans"]
+        assert summary["metadata"]["workload"] == "tiny"
+
+    def test_trace_command_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_command_rejects_non_trace_json(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"not": "a trace"}', encoding="utf-8")
+        assert main(["trace", str(bogus)]) == 2
+        assert "traceEvents" in capsys.readouterr().err
+
+    def test_verbose_flag_logs_progress(self, capsys):
+        import logging
+
+        root = logging.getLogger("repro")
+        before = list(root.handlers)
+        try:
+            assert main(
+                ["-v", "run", "--workload", "tiny", "--workers", "2",
+                 "--seed", "1", "--scheme", "original", "--horizon", "10"]
+            ) == 0
+            err = capsys.readouterr().err
+            assert "repro.engine" in err
+            assert "run start" in err
+        finally:
+            for handler in list(root.handlers):
+                if handler not in before:
+                    root.removeHandler(handler)

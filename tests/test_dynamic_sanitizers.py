@@ -280,7 +280,7 @@ class TestReplayDeterminism:
             check_replay(broken)
         except RuntimeError:
             pass
-        assert Simulator._tap is None
+        assert Simulator._taps == ()
 
 
 class TestMpShimNotes:

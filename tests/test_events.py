@@ -196,3 +196,68 @@ class TestPropertyBased:
         sim.run()
         expected = sorted(d for i, d in enumerate(delays) if i not in to_cancel)
         assert fired == expected
+
+
+class TestTapBus:
+    """The multi-subscriber event-tap bus (observability + sanitizers)."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_bus(self):
+        Simulator.remove_tap()
+        yield
+        Simulator.remove_tap()
+
+    def test_taps_see_every_event_in_installation_order(self):
+        calls = []
+        Simulator.install_tap(lambda t, s, f, a: calls.append(("first", t)))
+        Simulator.install_tap(lambda t, s, f, a: calls.append(("second", t)))
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert calls == [
+            ("first", 1.0), ("second", 1.0), ("first", 2.0), ("second", 2.0)
+        ]
+
+    def test_duplicate_install_raises(self):
+        def tap(t, s, f, a):
+            pass
+
+        Simulator.install_tap(tap)
+        with pytest.raises(SimulationError):
+            Simulator.install_tap(tap)
+
+    def test_remove_specific_tap_leaves_the_rest(self):
+        calls = []
+
+        def doomed(t, s, f, a):
+            calls.append("doomed")
+
+        def survivor(t, s, f, a):
+            calls.append("survivor")
+
+        Simulator.install_tap(doomed)
+        Simulator.install_tap(survivor)
+        Simulator.remove_tap(doomed)
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert calls == ["survivor"]
+
+    def test_bare_remove_clears_all_taps(self):
+        Simulator.install_tap(lambda t, s, f, a: None)
+        Simulator.install_tap(lambda t, s, f, a: None)
+        Simulator.remove_tap()
+        assert Simulator._taps == ()
+
+    def test_tap_receives_callback_and_args(self):
+        seen = []
+        Simulator.install_tap(lambda t, s, f, a: seen.append((t, s, f, a)))
+        sim = Simulator()
+
+        def callback(value):
+            pass
+
+        sim.schedule(1.5, callback, 42)
+        sim.run()
+        assert seen == [(1.5, 0, callback, (42,))]

@@ -1,0 +1,231 @@
+"""Tests for the observability core: clocks, metrics, tracer, flows,
+process-wide enablement, and coexistence with the dynamic sanitizers on
+the simulator's multi-tap bus."""
+
+import pytest
+
+from repro import ClusterSpec, Simulator, SpecSyncPolicy
+from repro.analysis.dynamic.replay import record_event_stream
+from repro.obs import (
+    NULL_TRACER,
+    FlowRecord,
+    FunctionClock,
+    InstantRecord,
+    MetricsRegistry,
+    SpanRecord,
+    TraceCollector,
+    VirtualClock,
+    collecting,
+    current_collector,
+    disable,
+    enable,
+    tracer_for,
+)
+from repro.obs.clock import VIRTUAL, WALL
+from repro.workloads import tiny_workload
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_collector():
+    yield
+    disable()
+    assert current_collector() is None
+
+
+def run_tiny(seed=3, horizon=60.0, workers=3):
+    workload = tiny_workload()
+    cluster = ClusterSpec.homogeneous(workers)
+    return workload.run(
+        cluster, SpecSyncPolicy.adaptive(), seed=seed, horizon_s=horizon
+    )
+
+
+class TestClocks:
+    def test_virtual_clock_tracks_simulator(self):
+        sim = Simulator()
+        clock = VirtualClock(sim)
+        assert clock.domain == VIRTUAL
+        seen = []
+        sim.schedule(4.5, lambda: seen.append(clock.now()))
+        sim.run()
+        assert seen == [4.5]
+
+    def test_function_clock_wraps_injected_source(self):
+        ticks = iter([1.0, 2.5])
+        clock = FunctionClock(lambda: next(ticks))
+        assert clock.domain == WALL
+        assert clock.now() == 1.0
+        assert clock.now() == 2.5
+
+
+class TestMetrics:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc(2.5)
+        assert registry.counter("x").value == 3.5
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+    def test_histogram_aggregates(self):
+        registry = MetricsRegistry()
+        for value in (0.1, 0.2, 0.3):
+            registry.histogram("h").observe(value)
+        snap = registry.histogram("h").snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 0.1
+        assert snap["max"] == 0.3
+        assert snap["mean"] == pytest.approx(0.2)
+
+    def test_snapshot_is_sorted_and_render_text_mentions_all(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc()
+        registry.histogram("m.mid").observe(1.0)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.first", "z.last"]
+        text = registry.render_text()
+        assert "a.first" in text and "m.mid" in text
+
+
+class TestTracer:
+    def test_span_instant_and_metrics_land_in_collector(self):
+        collector = TraceCollector()
+        sim = Simulator()
+        from repro.obs import Tracer
+
+        tracer = Tracer(collector, VirtualClock(sim))
+        tracer.span("worker-0", "compute", start=1.0, end=2.0)
+        tracer.instant("server", "push_applied", ts=2.0)
+        tracer.count("pushes")
+        tracer.observe("staleness", 3.0)
+        kinds = [type(r) for r in collector.records]
+        assert kinds == [SpanRecord, InstantRecord]
+        assert collector.records[0].domain == VIRTUAL
+        assert collector.metrics.counter("pushes").value == 1
+
+    def test_measure_scopes_a_span(self):
+        collector = TraceCollector()
+        ticks = iter([10.0, 11.5])
+        from repro.obs import Tracer
+
+        tracer = Tracer(collector, FunctionClock(lambda: next(ticks)))
+        with tracer.measure("rt.run", "run"):
+            pass
+        (span,) = collector.records
+        assert (span.start, span.end) == (10.0, 11.5)
+        assert span.domain == WALL
+
+    def test_flow_lifecycle_close_and_discard(self):
+        collector = TraceCollector()
+        sim = Simulator()
+        from repro.obs import Tracer
+
+        tracer = Tracer(collector, VirtualClock(sim))
+        key = ("resync", 0, 5)
+        tracer.flow_begin(key, "worker-1", "abort", ts=1.0)
+        tracer.flow_begin(key, "worker-2", "abort", ts=1.5)
+        assert collector.pending_flow_count == 2
+        assert tracer.flow_end(key, "worker-0", ts=2.0) == 2
+        assert collector.pending_flow_count == 0
+        flows = [r for r in collector.records if isinstance(r, FlowRecord)]
+        assert {f.src_track for f in flows} == {"worker-1", "worker-2"}
+        assert all(f.dst_track == "worker-0" for f in flows)
+
+        # Discarded origins never export.
+        tracer.flow_begin(key, "worker-1", "abort", ts=3.0)
+        tracer.flow_discard(key)
+        assert tracer.flow_end(key, "worker-0", ts=4.0) == 0
+
+    def test_null_tracer_is_inert(self):
+        before = current_collector()
+        NULL_TRACER.span("t", "n", start=0.0)
+        NULL_TRACER.instant("t", "n")
+        with NULL_TRACER.measure("t", "n"):
+            pass
+        NULL_TRACER.flow_begin(("k",), "t", "n")
+        assert NULL_TRACER.flow_end(("k",), "t") == 0
+        NULL_TRACER.count("c")
+        NULL_TRACER.observe("h", 1.0)
+        assert not NULL_TRACER.enabled
+        assert current_collector() is before
+
+
+class TestEnablement:
+    def test_tracer_for_returns_null_when_disabled(self):
+        sim = Simulator()
+        assert tracer_for(VirtualClock(sim)) is NULL_TRACER
+
+    def test_collecting_enables_then_disables(self):
+        sim = Simulator()
+        with collecting() as collector:
+            assert current_collector() is collector
+            tracer = tracer_for(VirtualClock(sim))
+            assert tracer.enabled
+            assert tracer.collector is collector
+        assert current_collector() is None
+        assert tracer_for(VirtualClock(sim)) is NULL_TRACER
+
+    def test_double_enable_raises(self):
+        enable(TraceCollector())
+        with pytest.raises(RuntimeError):
+            enable(TraceCollector())
+
+    def test_disable_is_idempotent(self):
+        disable()
+        disable()
+
+    def test_collecting_counts_simulator_events(self):
+        with collecting() as collector:
+            sim = Simulator()
+            for delay in (1.0, 2.0, 3.0):
+                sim.schedule(delay, lambda: None)
+            sim.run()
+        assert collector.metrics.counter("sim.events_fired").value == 3
+
+
+class TestInstrumentedRun:
+    def test_seeded_run_produces_spans_decisions_and_flows(self):
+        with collecting() as collector:
+            result = run_tiny()
+        assert result.total_aborts > 0
+        assert collector.pending_flow_count == 0
+
+        spans = {r.name for r in collector.records if isinstance(r, SpanRecord)}
+        assert {"pull", "compute", "push", "iteration"} <= spans
+        instants = {
+            r.name for r in collector.records if isinstance(r, InstantRecord)
+        }
+        assert {"notify", "resync_decision", "push_applied"} <= instants
+        flows = [r for r in collector.records if isinstance(r, FlowRecord)]
+        assert flows and all(f.cat == "abort" for f in flows)
+
+        counters = collector.metrics.snapshot()["counters"]
+        assert counters["engine.aborts"] == result.total_aborts
+        assert counters["scheduler.resyncs_sent"] >= result.total_aborts
+        assert counters["sim.events_fired"] > 0
+        assert any(name.startswith("net.bytes.") for name in counters)
+
+    def test_disabled_run_collects_nothing_and_matches_enabled_run(self):
+        baseline = run_tiny()
+        with collecting() as collector:
+            traced = run_tiny()
+        # Observability must not perturb the simulation.
+        assert traced.total_iterations == baseline.total_iterations
+        assert traced.total_aborts == baseline.total_aborts
+        assert traced.final_loss == baseline.final_loss
+        assert collector.records
+
+    def test_tracer_coexists_with_replay_sanitizer_tap(self):
+        # Both the replay checker and the tracer tap the simulator: the
+        # multi-tap bus must feed both without either seeing a partial
+        # stream.
+        with record_event_stream() as fingerprints:
+            with collecting() as collector:
+                run_tiny(horizon=20.0)
+        assert Simulator._taps == ()
+        assert len(fingerprints) > 0
+        assert (
+            collector.metrics.counter("sim.events_fired").value
+            == len(fingerprints)
+        )

@@ -1,0 +1,200 @@
+"""Tests for the Chrome trace-event (Perfetto) exporter.
+
+Covers the JSON schema (phases, µs timestamps, pid/tid layout, args),
+flow-event pairing, and a golden-file round trip on a seeded 3-worker
+run.  Regenerate the golden file after an intentional format change
+with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_obs_perfetto.py
+"""
+
+import io
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import ClusterSpec, Simulator, SpecSyncPolicy
+from repro.obs import (
+    TRACE_FORMAT_VERSION,
+    FunctionClock,
+    TraceCollector,
+    Tracer,
+    VirtualClock,
+    collecting,
+    load_trace,
+    render_summary,
+    summarize_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.workloads import tiny_workload
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_trace.json"
+
+#: pid per clock domain, mirrored from the exporter's contract.
+VIRTUAL_PID, WALL_PID = 1, 2
+
+
+def _seeded_run_collector() -> TraceCollector:
+    collector = TraceCollector()
+    collector.metadata["workload"] = "tiny"
+    collector.metadata["seed"] = 3
+    with collecting(collector):
+        workload = tiny_workload()
+        cluster = ClusterSpec.homogeneous(3)
+        workload.run(
+            cluster, SpecSyncPolicy.adaptive(), seed=3, horizon_s=30.0
+        )
+    return collector
+
+
+@pytest.fixture(scope="module")
+def run_trace() -> dict:
+    return to_chrome_trace(_seeded_run_collector())
+
+
+class TestSchema:
+    def test_top_level_layout(self, run_trace):
+        assert set(run_trace) == {
+            "traceEvents", "displayTimeUnit", "otherData", "metrics"
+        }
+        assert run_trace["displayTimeUnit"] == "ms"
+        assert run_trace["otherData"]["format_version"] == TRACE_FORMAT_VERSION
+        assert run_trace["otherData"]["workload"] == "tiny"
+        assert set(run_trace["metrics"]) == {"counters", "histograms"}
+
+    def test_every_event_is_well_formed(self, run_trace):
+        for event in run_trace["traceEvents"]:
+            assert event["ph"] in {"X", "i", "s", "f", "M"}
+            assert isinstance(event["name"], str)
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "M":
+                assert event["name"] in {"process_name", "thread_name"}
+                assert "name" in event["args"]
+            else:
+                assert event["ts"] >= 0.0
+                assert "cat" in event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+            if event["ph"] == "f":
+                assert event["bp"] == "e"
+
+    def test_one_track_per_worker_plus_named_tracks(self, run_trace):
+        names = {
+            event["args"]["name"]: (event["pid"], event["tid"])
+            for event in run_trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert {"worker-0", "worker-1", "worker-2", "server",
+                "scheduler"} <= set(names)
+        # Workers first, in numeric order, all on the virtual-time process.
+        assert [names[f"worker-{i}"] for i in range(3)] == [
+            (VIRTUAL_PID, 1), (VIRTUAL_PID, 2), (VIRTUAL_PID, 3)
+        ]
+
+    def test_span_timestamps_are_virtual_microseconds(self, run_trace):
+        spans = [e for e in run_trace["traceEvents"] if e["ph"] == "X"]
+        assert spans
+        # The tiny run lasts under a virtual minute: 60e6 µs.
+        assert all(0.0 <= e["ts"] <= 60e6 for e in spans)
+
+    def test_args_survive_export(self, run_trace):
+        decisions = [
+            e for e in run_trace["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "resync_decision"
+        ]
+        assert decisions
+        for event in decisions:
+            assert {"worker", "iteration", "peer_pushes",
+                    "threshold"} <= set(event["args"])
+
+
+class TestFlowPairing:
+    def test_every_flow_id_pairs_exactly_once(self, run_trace):
+        starts = [e for e in run_trace["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in run_trace["traceEvents"] if e["ph"] == "f"]
+        assert starts, "the seeded run must produce abort flow arrows"
+        assert sorted(e["id"] for e in starts) == sorted(
+            e["id"] for e in finishes
+        )
+        assert len({e["id"] for e in starts}) == len(starts)
+
+    def test_abort_arrows_point_at_the_aborted_worker(self, run_trace):
+        finishes = {
+            e["id"]: e for e in run_trace["traceEvents"] if e["ph"] == "f"
+        }
+        worker_tids = {
+            event["tid"]
+            for event in run_trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+            and event["args"]["name"].startswith("worker-")
+        }
+        for event in run_trace["traceEvents"]:
+            if event["ph"] == "s":
+                finish = finishes[event["id"]]
+                assert event["cat"] == finish["cat"] == "abort"
+                assert finish["tid"] in worker_tids
+                assert finish["ts"] >= event["ts"]
+
+    def test_unclosed_origins_are_not_exported(self):
+        collector = TraceCollector()
+        tracer = Tracer(collector, VirtualClock(Simulator()))
+        tracer.flow_begin(("resync", 0, 1), "worker-1", "abort", ts=1.0)
+        trace = to_chrome_trace(collector)
+        assert all(e["ph"] not in {"s", "f"} for e in trace["traceEvents"])
+
+
+class TestDomains:
+    def test_wall_epoch_is_normalized_virtual_is_absolute(self):
+        collector = TraceCollector()
+        sim = Simulator()
+        virtual = Tracer(collector, VirtualClock(sim))
+        ticks = iter([1e9 + 5.0, 1e9 + 6.0])
+        wall = Tracer(collector, FunctionClock(lambda: next(ticks)))
+        virtual.span("worker-0", "compute", start=2.0, end=3.0)
+        with wall.measure("rt.run", "run"):
+            pass
+        events = {
+            (e["pid"], e["name"]): e
+            for e in to_chrome_trace(collector)["traceEvents"]
+            if e["ph"] == "X"
+        }
+        # Virtual timestamps stay absolute (2 s -> 2e6 µs); the wall span
+        # is rebased to its own earliest record.
+        assert events[(VIRTUAL_PID, "compute")]["ts"] == pytest.approx(2e6)
+        assert events[(WALL_PID, "run")]["ts"] == pytest.approx(0.0)
+        assert events[(WALL_PID, "run")]["dur"] == pytest.approx(1e6)
+
+
+class TestGoldenFile:
+    def test_seeded_export_matches_golden(self):
+        buffer = io.StringIO()
+        write_chrome_trace(_seeded_run_collector(), buffer)
+        rendered = buffer.getvalue()
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_PATH.write_text(rendered, encoding="utf-8")
+        golden = GOLDEN_PATH.read_text(encoding="utf-8")
+        assert rendered == golden, (
+            "export drifted from tests/data/golden_trace.json; if the "
+            "format change is intentional, regenerate with "
+            "REPRO_REGEN_GOLDEN=1"
+        )
+
+    def test_golden_round_trips_through_the_summarizer(self):
+        with GOLDEN_PATH.open(encoding="utf-8") as handle:
+            trace = load_trace(handle)
+        summary = summarize_trace(trace)
+        assert summary.total_events == len(trace["traceEvents"])
+        assert {"pull", "compute", "push", "iteration"} <= set(summary.spans)
+        assert summary.instants["resync_decision"] >= 1
+        assert summary.abort_flow_pairs >= 1
+        assert summary.unpaired_flows == 0
+        text = render_summary(summary)
+        assert "abort causality" in text
+        assert "spans" in text
