@@ -16,6 +16,12 @@ Suppress a finding in source with a justification::
 
     started = _time.perf_counter()  # repro: allow[DET-WALLCLOCK] measures real tuner cost
 
+Beyond the lint engine, :mod:`repro.analysis.dynamic` hosts the runtime
+sanitizers (``repro sanitize``) and :mod:`repro.analysis.model` the
+explicit-state model checker for the abort/re-sync protocol
+(``repro modelcheck``); all three gate CI through the shared
+:func:`gate_exit_code` / ``--fail-on`` policy.
+
 See ``docs/static_analysis.md`` for every rule id and the extension
 guide.
 """
@@ -29,12 +35,16 @@ from repro.analysis.engine import (
     run_lint,
 )
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.gate import FAIL_ON_CHOICES, add_fail_on_argument, gate_exit_code
 from repro.analysis.reporters import parse_json, render_json, render_text
 from repro.analysis.rules import DEFAULT_RULE_CLASSES, default_rules
 
 __all__ = [
     "Finding",
     "Severity",
+    "FAIL_ON_CHOICES",
+    "add_fail_on_argument",
+    "gate_exit_code",
     "LintEngine",
     "ModuleInfo",
     "Rule",

@@ -1,0 +1,335 @@
+"""A small zero-dependency explicit-state model checker.
+
+The checker exhaustively enumerates the reachable state space of a
+*model* — any object exposing the small duck-typed surface below — by
+breadth-first (default) or depth-first search over hashed states, and
+checks four property classes on the way:
+
+* **state invariants** — predicates over every reachable state;
+* **action invariants** — predicates over every fired transition
+  ``(pre, action, post)``, recomputed independently of the transition
+  generator so a buggy generator cannot hide its own defect;
+* **deadlock** — a state with no enabled actions that the model does not
+  consider terminal;
+* **liveness / termination** — every reachable state must be able to
+  reach a terminal state (backward reachability from the terminal set);
+  additionally, a quiescent terminal state must have no in-flight
+  messages (a message sent but never delivered was *dropped*).
+
+Every violation carries the shortest counterexample the search strategy
+admits, reconstructed from parent pointers and rendered with the model's
+own vocabulary (:meth:`render_action` / :meth:`render_state`).
+
+Model surface (duck-typed, no base class needed)::
+
+    model.initial_state() -> state            # hashable
+    model.successors(state) -> [(action, state), ...]
+    model.is_terminal(state) -> bool
+    model.in_flight(state) -> int             # undelivered messages
+    model.render_state(state) -> str
+    model.render_action(action) -> str
+    model.state_invariants  -> [(name, fn(state) -> Optional[str])]
+    model.action_invariants -> [(name, fn(pre, action, post) -> Optional[str])]
+
+States must be hashable value objects (tuples of tuples); the checker
+never mutates them.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+__all__ = ["Violation", "CheckResult", "explore"]
+
+#: Counterexample steps beyond which the rendered trace is elided in the
+#: middle — full traces still land in the JSON artifact.
+_TRACE_RENDER_CAP = 60
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property violation plus its counterexample trace.
+
+    ``kind`` is one of ``state-invariant``, ``action-invariant``,
+    ``deadlock``, ``livelock``, or ``dropped-message``; ``name`` is the
+    violated invariant's name (or the kind again for the built-in
+    checks).  ``trace`` is the rendered shortest path from the initial
+    state to the violating state/transition, one step per entry.
+    """
+
+    kind: str
+    name: str
+    message: str
+    trace: Tuple[str, ...]
+    state: str
+
+    def render(self) -> str:
+        """Multi-line human-readable form: headline, then the trace."""
+        lines = [f"{self.kind} [{self.name}]: {self.message}"]
+        steps = list(self.trace)
+        if len(steps) > _TRACE_RENDER_CAP:
+            head = steps[: _TRACE_RENDER_CAP // 2]
+            tail = steps[-_TRACE_RENDER_CAP // 2 :]
+            steps = head + [f"  ... ({len(self.trace) - len(head) - len(tail)} steps elided) ..."] + tail
+        lines.extend(steps)
+        lines.append(f"  final state: {self.state}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (the CI counterexample artifact)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "message": self.message,
+            "trace": list(self.trace),
+            "state": self.state,
+        }
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one exhaustive exploration."""
+
+    states: int
+    transitions: int
+    depth: int
+    terminal_states: int
+    violations: List[Violation] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the exploration completed with zero violations."""
+        return not self.violations and not self.truncated
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "states": self.states,
+            "transitions": self.transitions,
+            "depth": self.depth,
+            "terminal_states": self.terminal_states,
+            "violations": [v.to_dict() for v in self.violations],
+            "elapsed_s": round(self.elapsed_s, 6),
+            "truncated": self.truncated,
+            "ok": self.ok,
+        }
+
+
+class _Search:
+    """Shared bookkeeping for one exploration run."""
+
+    def __init__(self, model: Any, max_violations: int):
+        self.model = model
+        self.max_violations = max_violations
+        init = model.initial_state()
+        self.states: List[Any] = [init]
+        self.index: Dict[Any, int] = {init: 0}
+        #: parent pointer per state id: (parent id, action) — None at the root
+        self.parents: List[Optional[Tuple[int, Any]]] = [None]
+        self.depths: List[int] = [0]
+        #: predecessor ids per state id (for backward liveness reachability)
+        self.preds: List[List[int]] = [[]]
+        self.terminal_ids: List[int] = []
+        self.violations: List[Violation] = []
+        #: (kind, name) pairs already reported — one counterexample per
+        #: property keeps the report readable without hiding distinct bugs
+        self.reported: Set[Tuple[str, str]] = set()
+
+    def trace_to(self, sid: int, extra: Optional[str] = None) -> Tuple[str, ...]:
+        """Rendered path root → ``sid`` (+ one extra step), via parents."""
+        actions: List[Any] = []
+        cursor = sid
+        while self.parents[cursor] is not None:
+            parent, action = self.parents[cursor]  # type: ignore[misc]
+            actions.append(action)
+            cursor = parent
+        actions.reverse()
+        lines = [f"  init: {self.model.render_state(self.states[0])}"]
+        for step, action in enumerate(actions, start=1):
+            lines.append(f"  step {step}: {self.model.render_action(action)}")
+        if extra is not None:
+            lines.append(f"  step {len(actions) + 1}: {extra}")
+        return tuple(lines)
+
+    def report(
+        self,
+        kind: str,
+        name: str,
+        message: str,
+        sid: int,
+        state: Any,
+        extra: Optional[str] = None,
+    ) -> None:
+        """Record a violation unless ``(kind, name)`` was already seen."""
+        if (kind, name) in self.reported:
+            return
+        self.reported.add((kind, name))
+        self.violations.append(
+            Violation(
+                kind=kind,
+                name=name,
+                message=message,
+                trace=self.trace_to(sid, extra=extra),
+                state=self.model.render_state(state),
+            )
+        )
+
+    @property
+    def full(self) -> bool:
+        """Whether the violation budget is exhausted."""
+        return len(self.violations) >= self.max_violations
+
+
+def _check_state_invariants(search: _Search, sid: int, state: Any) -> None:
+    for name, fn in search.model.state_invariants:
+        if ("state-invariant", name) in search.reported:
+            continue
+        message = fn(state)
+        if message is not None:
+            search.report("state-invariant", name, message, sid, state)
+
+
+def explore(
+    model: Any,
+    max_states: int = 2_000_000,
+    max_violations: int = 10,
+    check_liveness: bool = True,
+    strategy: str = "bfs",
+) -> CheckResult:
+    """Exhaustively explore ``model`` and check all its properties.
+
+    ``strategy`` is ``"bfs"`` (default — counterexamples are shortest)
+    or ``"dfs"`` (lower peak frontier, longer traces).  ``max_states``
+    bounds the exploration; hitting it sets ``truncated`` on the result
+    so a silently partial verification can never read as a pass.
+    """
+    if strategy not in ("bfs", "dfs"):
+        raise ValueError(f"unknown search strategy {strategy!r}")
+    started = time.perf_counter()
+    search = _Search(model, max_violations)
+    transitions = 0
+    max_depth = 0
+    truncated = False
+
+    _check_state_invariants(search, 0, search.states[0])
+    if model.is_terminal(search.states[0]):
+        search.terminal_ids.append(0)
+
+    frontier: deque = deque([0])
+    pop = frontier.popleft if strategy == "bfs" else frontier.pop
+    while frontier and not search.full:
+        sid = pop()
+        state = search.states[sid]
+        successors = model.successors(state)
+        if not successors:
+            if not model.is_terminal(state):
+                search.report(
+                    "deadlock",
+                    "deadlock",
+                    "no enabled actions but the protocol has not terminated",
+                    sid,
+                    state,
+                )
+            elif model.in_flight(state) > 0:
+                search.report(
+                    "dropped-message",
+                    "dropped-message",
+                    f"terminated with {model.in_flight(state)} message(s) "
+                    f"still in flight — sent but never delivered",
+                    sid,
+                    state,
+                )
+            continue
+        for action, nxt in successors:
+            transitions += 1
+            for name, fn in model.action_invariants:
+                if ("action-invariant", name) in search.reported:
+                    continue
+                message = fn(state, action, nxt)
+                if message is not None:
+                    search.report(
+                        "action-invariant",
+                        name,
+                        message,
+                        sid,
+                        nxt,
+                        extra=model.render_action(action),
+                    )
+            nid = search.index.get(nxt)
+            if nid is not None:
+                search.preds[nid].append(sid)
+                continue
+            if len(search.states) >= max_states:
+                truncated = True
+                continue
+            nid = len(search.states)
+            search.index[nxt] = nid
+            search.states.append(nxt)
+            search.parents.append((sid, action))
+            search.depths.append(search.depths[sid] + 1)
+            search.preds.append([sid])
+            if search.depths[nid] > max_depth:
+                max_depth = search.depths[nid]
+            _check_state_invariants(search, nid, nxt)
+            if model.is_terminal(nxt):
+                search.terminal_ids.append(nid)
+            frontier.append(nid)
+
+    if check_liveness and not truncated and not search.full:
+        _check_liveness(search)
+
+    return CheckResult(
+        states=len(search.states),
+        transitions=transitions,
+        depth=max_depth,
+        terminal_states=len(search.terminal_ids),
+        violations=search.violations,
+        elapsed_s=time.perf_counter() - started,
+        truncated=truncated,
+    )
+
+
+def _check_liveness(search: _Search) -> None:
+    """Fair termination: every state must reach *some* terminal state.
+
+    Backward BFS from the terminal set over recorded predecessor edges;
+    any explored state left unreached is a livelock witness (under
+    fairness — some infinite schedule avoids termination forever).  The
+    shallowest such state gives the shortest counterexample prefix.
+    """
+    if not search.terminal_ids:
+        search.report(
+            "livelock",
+            "termination",
+            "no terminal state is reachable at all",
+            0,
+            search.states[0],
+        )
+        return
+    live = [False] * len(search.states)
+    queue: deque = deque(search.terminal_ids)
+    for tid in search.terminal_ids:
+        live[tid] = True
+    while queue:
+        sid = queue.popleft()
+        for pred in search.preds[sid]:
+            if not live[pred]:
+                live[pred] = True
+                queue.append(pred)
+    dead = [sid for sid, ok in enumerate(live) if not ok]
+    if not dead:
+        return
+    witness = min(dead, key=lambda sid: search.depths[sid])
+    search.report(
+        "livelock",
+        "termination",
+        f"{len(dead)} reachable state(s) cannot reach any terminal "
+        f"state (fair termination fails); shallowest witness shown",
+        witness,
+        search.states[witness],
+    )

@@ -1,0 +1,312 @@
+"""Trace conformance: the code checks the model, the model checks the code.
+
+Exhaustive exploration (:func:`repro.analysis.model.checker.explore`)
+proves properties of the *model*; this module closes the loop by
+projecting *real executions* onto the model's transitions and failing if
+any observed step is not model-legal.  Two execution substrates are
+covered:
+
+* **DES runs** — a :class:`repro.events.Simulator` tap (the
+  multi-subscriber tap bus) observes every ``Network._deliver`` and
+  ``TrainingEngine._on_compute_done`` event of a live engine run and
+  feeds a :class:`ShadowTracker`, which steps an *unbounded*
+  :class:`~repro.analysis.model.specsync.SpecSyncModel` along the
+  observed actions;
+* **multiprocess runs** — the server process records its wire-tag
+  stream (``("pull", w)`` / ``("push", w)``), which
+  :func:`replay_wire_trace` replays through the model's per-worker phase
+  machine (the projection of :class:`WorkerState` onto the server-visible
+  alphabet).
+
+The scheduler's timer check is internal to the scheduler and invisible
+on the wire, so the shadow inserts the ``resync_check`` action lazily
+when a RESYNC delivery is observed without a matching in-flight re-sync
+— a weak-transition match.  The insertion itself is guarded: it only
+succeeds if a bound window with enough peer pushes exists, so an
+implementation that re-syncs below the ``ABORT_RATE × m`` threshold (or
+without any notify at all) still fails conformance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.model.specsync import (
+    COMPUTING,
+    PHASE_NAMES,
+    PULL_REQ,
+    Action,
+    SpecSyncModel,
+)
+from repro.events import Simulator
+from repro.netsim.messages import MessageKind
+
+__all__ = [
+    "ShadowTracker",
+    "ConformanceReport",
+    "run_des_conformance",
+    "replay_wire_trace",
+]
+
+#: Conformance stops collecting after this many violations — once the
+#: shadow diverges, every later step would fail for follow-on reasons.
+_MAX_VIOLATIONS = 3
+
+
+class ShadowTracker:
+    """Steps a :class:`SpecSyncModel` along an observed action stream.
+
+    The model must be built with ``max_iterations=None`` (real runs are
+    not iteration-bounded) and a finite ``window_keep`` (otherwise
+    windows the real scheduler checked-and-dropped accumulate forever).
+    """
+
+    def __init__(self, model: SpecSyncModel):
+        if model.max_iterations is not None:
+            raise ValueError("conformance shadowing needs max_iterations=None")
+        self.model = model
+        self.state = model.initial_state()
+        self.steps = 0
+        self.inserted_checks = 0
+        self.violations: List[str] = []
+
+    @property
+    def broken(self) -> bool:
+        """Whether shadowing stopped after too many violations."""
+        return len(self.violations) >= _MAX_VIOLATIONS
+
+    def observe(
+        self, kind: str, worker: int, iteration: Optional[int] = None, time: float = 0.0
+    ) -> Optional[str]:
+        """Apply one observed action; returns the violation, if any."""
+        if self.broken:
+            return None
+        if kind == "resync" and not self.state.workers[worker].resyncs:
+            # The scheduler's check is not a wire event: insert it as the
+            # weak transition that must have preceded this delivery.
+            error = self._apply("resync_check", worker, iteration, time)
+            if error is not None:
+                self.violations.append(error)
+                return error
+            self.inserted_checks += 1
+        error = self._apply(kind, worker, iteration, time)
+        if error is not None:
+            self.violations.append(error)
+        return error
+
+    def _apply(
+        self, kind: str, worker: int, iteration: Optional[int], time: float
+    ) -> Optional[str]:
+        for action, nxt in self.model.successors(self.state):
+            if action.kind != kind or action.worker != worker:
+                continue
+            if (
+                iteration is not None
+                and action.iteration is not None
+                and action.iteration != iteration
+            ):
+                continue
+            self.state = nxt
+            self.steps += 1
+            return None
+        observed = Action(kind, worker, iteration)
+        return (
+            f"observed {observed.render()} at t={time:.6g} is not enabled "
+            f"in the model; shadow state: {self.state.render()}"
+        )
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of shadowing one real run against the model."""
+
+    scheme: str
+    num_workers: int
+    seed: int
+    events_observed: int = 0
+    transitions_checked: int = 0
+    inserted_checks: int = 0
+    action_counts: Dict[str, int] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every observed transition was model-legal."""
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "scheme": self.scheme,
+            "num_workers": self.num_workers,
+            "seed": self.seed,
+            "events_observed": self.events_observed,
+            "transitions_checked": self.transitions_checked,
+            "inserted_checks": self.inserted_checks,
+            "action_counts": dict(sorted(self.action_counts.items())),
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+
+class _ProjectionTap:
+    """A tap-bus subscriber projecting engine events onto model actions."""
+
+    def __init__(self, engine: Any, tracker: ShadowTracker, report: ConformanceReport):
+        self.tracker = tracker
+        self.report = report
+        self._node_to_worker = {w.node_name: w.worker_id for w in engine.workers}
+
+    def __call__(self, time: float, seq: int, fn: Callable, args: tuple) -> None:
+        target = getattr(fn, "__func__", fn)
+        qualname = getattr(target, "__qualname__", "")
+        if qualname == "Network._deliver":
+            self._on_delivery(time, args[0])
+        elif qualname == "TrainingEngine._on_compute_done":
+            self._step("compute_done", args[0].worker_id, None, time)
+
+    def _on_delivery(self, time: float, message: Any) -> None:
+        kind = message.kind
+        if kind is MessageKind.PULL_REQUEST:
+            self._step(kind.wire_name, message.payload, None, time)
+        elif kind in (MessageKind.PULL_RESPONSE, MessageKind.PUSH_ACK):
+            self._step(kind.wire_name, self._node_to_worker[message.dst], None, time)
+        elif kind is MessageKind.PUSH:
+            self._step(kind.wire_name, self._node_to_worker[message.src], None, time)
+        elif kind in (MessageKind.NOTIFY, MessageKind.RESYNC):
+            worker, iteration = message.payload
+            self._step(kind.wire_name, worker, iteration, time)
+
+    def _step(self, kind: str, worker: int, iteration: Optional[int], time: float) -> None:
+        self.report.events_observed += 1
+        self.report.action_counts[kind] = self.report.action_counts.get(kind, 0) + 1
+        self.tracker.observe(kind, worker, iteration, time)
+
+
+def _build_policy(scheme: str, abort_time_s: float, abort_rate: float, staleness_bound: int):
+    from repro.core.hyperparams import SpecSyncHyperparams
+    from repro.core.specsync import SpecSyncPolicy
+    from repro.sync import AspPolicy, BspPolicy, SspPolicy
+
+    if scheme == "asp":
+        return AspPolicy()
+    if scheme == "bsp":
+        return BspPolicy()
+    if scheme == "ssp":
+        return SspPolicy(staleness_bound=staleness_bound)
+    if scheme == "specsync":
+        # Cherrypick (fixed hyperparameters): the model's threshold must
+        # match the scheduler's for the whole run, which adaptive
+        # retuning would break.
+        return SpecSyncPolicy.cherrypick(
+            SpecSyncHyperparams(abort_time_s=abort_time_s, abort_rate=abort_rate)
+        )
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def run_des_conformance(
+    scheme: str = "specsync",
+    workers: int = 3,
+    seed: int = 0,
+    horizon_s: float = 40.0,
+    abort_time_s: float = 1.0,
+    abort_rate: float = 0.4,
+    staleness_bound: int = 1,
+    abort_budget: int = 1,
+) -> ConformanceReport:
+    """Run one seeded DES run under the tap and shadow it with the model.
+
+    Builds the ``tiny`` workload on a homogeneous cluster (deterministic
+    link — no jitter), installs the projection tap, runs the engine to
+    ``horizon_s``, and reports every observed transition that was not
+    model-legal.
+    """
+    from repro.cluster.spec import ClusterSpec
+    from repro.workloads import tiny_workload
+
+    policy = _build_policy(scheme, abort_time_s, abort_rate, staleness_bound)
+    engine = tiny_workload().build_engine(
+        ClusterSpec.homogeneous(workers),
+        policy,
+        seed=seed,
+        horizon_s=horizon_s,
+        early_stop=False,
+        max_aborts_per_iteration=abort_budget,
+    )
+    model = SpecSyncModel(
+        num_workers=workers,
+        scheme=scheme,
+        max_iterations=None,
+        threshold=workers * abort_rate if scheme == "specsync" else None,
+        staleness_bound=staleness_bound,
+        abort_budget=abort_budget,
+        window_keep=8,
+    )
+    report = ConformanceReport(scheme=scheme, num_workers=workers, seed=seed)
+    tracker = ShadowTracker(model)
+    tap = _ProjectionTap(engine, tracker, report)
+    Simulator.install_tap(tap)
+    try:
+        engine.run()
+    finally:
+        Simulator.remove_tap(tap)
+    report.transitions_checked = tracker.steps
+    report.inserted_checks = tracker.inserted_checks
+    report.violations = list(tracker.violations)
+    return report
+
+
+def replay_wire_trace(
+    trace: Sequence[Tuple[str, int]], num_workers: int, abort_budget: int = 1
+) -> List[str]:
+    """Replay a multiprocess server wire-tag trace through the model.
+
+    ``trace`` is the server's request stream in processing order:
+    ``("pull", worker_id)`` / ``("push", worker_id)``.  Each worker's
+    stream is replayed through the projection of the model's
+    :class:`WorkerState` phase machine onto the server-visible alphabet —
+    a served pull collapses PULL_REQUEST/PULL_RESPONSE into entering
+    ``COMPUTING``, an applied push collapses compute_done/PUSH/PUSH_ACK
+    into completing the iteration, and a re-pull without an intervening
+    push is exactly the abort-restart transition, legal only while the
+    abort budget lasts.  Returns every violation found (empty = conformant).
+    """
+    phases = [PULL_REQ] * num_workers
+    aborts = [0] * num_workers
+    iterations = [0] * num_workers
+    violations: List[str] = []
+    for position, (tag, worker) in enumerate(trace):
+        if not 0 <= worker < num_workers:
+            violations.append(f"entry {position}: unknown worker id {worker}")
+            continue
+        if tag == "pull":
+            if phases[worker] == PULL_REQ:
+                phases[worker] = COMPUTING
+            elif phases[worker] == COMPUTING:
+                # A pull while computing is the abort-restart re-pull.
+                aborts[worker] += 1
+                if aborts[worker] > abort_budget:
+                    violations.append(
+                        f"entry {position}: worker {worker} re-pulled "
+                        f"{aborts[worker]}x in iteration {iterations[worker]}, "
+                        f"beyond the abort budget of {abort_budget}"
+                    )
+            else:  # pragma: no cover - unreachable with two phases
+                violations.append(
+                    f"entry {position}: pull from worker {worker} in phase "
+                    f"{PHASE_NAMES[phases[worker]]}"
+                )
+        elif tag == "push":
+            if phases[worker] != COMPUTING:
+                violations.append(
+                    f"entry {position}: push from worker {worker} without a "
+                    f"served pull (phase {PHASE_NAMES[phases[worker]]})"
+                )
+                continue
+            phases[worker] = PULL_REQ
+            iterations[worker] += 1
+            aborts[worker] = 0
+        else:
+            violations.append(f"entry {position}: unknown wire tag {tag!r}")
+    return violations

@@ -1,0 +1,105 @@
+"""Seeded protocol bugs that the model checker must catch.
+
+Each mutation names a code path in
+:class:`repro.analysis.model.specsync.SpecSyncModel`'s *transition
+generator* that misbehaves the way a real implementation bug would —
+off-by-one thresholds, dropped messages, skipped restarts.  The
+invariants never consult the mutation flag (they recompute everything
+from the pre-state), so a surviving mutant means the checker genuinely
+cannot see that class of bug.  ``repro modelcheck --mutants`` runs every
+mutation and fails if any survives; the harness smoke-runs in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Mutation", "MUTATIONS", "mutation_names"]
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One seeded bug: where it is injected and what must catch it."""
+
+    name: str
+    description: str
+    scheme: str  # the scheme whose model the mutant is checked under
+    expect: str  # the property class expected to reject the mutant
+
+
+#: The registry.  Every entry must be rejected by the checker with a
+#: readable counterexample (asserted by tests and the CI smoke run).
+MUTATIONS: Tuple[Mutation, ...] = (
+    Mutation(
+        name="threshold-off-by-one",
+        description=(
+            "scheduler issues a re-sync at ABORT_RATE x m - 1 peer pushes "
+            "(the classic >= vs > slip on the abort threshold)"
+        ),
+        scheme="specsync",
+        expect="action-invariant resync-requires-threshold",
+    ),
+    Mutation(
+        name="double-inflight-resync",
+        description=(
+            "scheduler issues a second re-sync while one is still in "
+            "flight to the same worker"
+        ),
+        scheme="specsync",
+        expect="action-invariant resync-single-issue",
+    ),
+    Mutation(
+        name="late-resync-applied",
+        description=(
+            "engine honors a re-sync that targets an already-completed "
+            "iteration instead of discarding it"
+        ),
+        scheme="specsync",
+        expect="action-invariant abort-only-when-eligible",
+    ),
+    Mutation(
+        name="resync-skips-pull",
+        description=(
+            "aborted worker restarts its computation without re-pulling "
+            "fresher parameters"
+        ),
+        scheme="specsync",
+        expect="action-invariant abort-restarts-with-pull",
+    ),
+    Mutation(
+        name="stale-restart-pull",
+        description=(
+            "the restart pull serves the aborted worker its old snapshot "
+            "instead of the current store version"
+        ),
+        scheme="specsync",
+        expect="action-invariant restart-pull-is-fresher",
+    ),
+    Mutation(
+        name="dropped-resync",
+        description="issued re-sync messages are never delivered",
+        scheme="specsync",
+        expect="dropped-message at quiescence",
+    ),
+    Mutation(
+        name="bsp-missing-release",
+        description=(
+            "completing an iteration never releases workers parked at "
+            "the barrier"
+        ),
+        scheme="bsp",
+        expect="deadlock",
+    ),
+    Mutation(
+        name="ssp-bound-off-by-one",
+        description="the SSP gate admits workers at staleness bound + 1",
+        scheme="ssp",
+        expect="state-invariant ssp-staleness-bound",
+    ),
+)
+
+
+def mutation_names() -> Tuple[str, ...]:
+    """The registered mutation names, in registry order."""
+    return tuple(m.name for m in MUTATIONS)

@@ -37,6 +37,7 @@ from repro.analysis.rules.determinism import (
 from repro.analysis.rules.protocol import (
     MessageCategoryRule,
     MessageSizeRule,
+    ModelAlphabetRule,
     UnhandledMessageKindRule,
     WireTagRule,
 )
@@ -55,6 +56,7 @@ DEFAULT_RULE_CLASSES = (
     UnhandledMessageKindRule,
     MessageSizeRule,
     WireTagRule,
+    ModelAlphabetRule,
     # concurrency (repro.runtime)
     LockOrderRule,
     ThreadDaemonRule,

@@ -10,10 +10,15 @@ The SpecSync wire protocol lives in three places that must stay in sync:
 * the ``repro.runtime.multiprocess`` string-tagged queue protocol — the
   server's dispatch loop raises at runtime on an unknown tag, so a tag
   sent but not handled is a guaranteed crash that only a long soak run
-  would find.
+  would find;
+* the formal protocol model's transition alphabet
+  (``repro.analysis.model.specsync.MODEL_ALPHABET``) — a message kind the
+  model does not cover is a protocol surface the model checker silently
+  never verifies.
 
-These rules cross-check all three statically, so adding a message type
-without a size category or a handler fails lint instead of an experiment.
+These rules cross-check all four statically, so adding a message type
+without a size category, a handler, or a model transition fails lint
+instead of an experiment.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ __all__ = [
     "UnhandledMessageKindRule",
     "MessageSizeRule",
     "WireTagRule",
+    "ModelAlphabetRule",
 ]
 
 #: The Fig. 13 transfer-accounting buckets.
@@ -233,3 +239,96 @@ class WireTagRule(Rule):
                     f"dispatch in {module.module} compares against it; the "
                     f"server loop will raise at runtime",
                 )
+
+
+class ModelAlphabetRule(Rule):
+    """PROTO-MODEL-ALPHABET: the model's alphabet must mirror MessageKind.
+
+    The explicit-state protocol model declares its transition alphabet as
+    ``MODEL_ALPHABET``, a tuple of ``MessageKind.<NAME>`` references.
+    This rule cross-checks the tuple against the enum in both directions:
+    an enum member missing from the alphabet is a message the model
+    checker never verifies, and an alphabet entry without a matching enum
+    member is a transition the real protocol cannot take.  Both halves
+    must be in the linted batch for the check to run (linting a subset
+    of the tree must not false-positive).
+    """
+
+    rule_id = "PROTO-MODEL-ALPHABET"
+    severity = Severity.ERROR
+    description = (
+        "Protocol-model alphabet out of sync with the MessageKind enum."
+    )
+
+    @staticmethod
+    def _find_alphabet(
+        module: ModuleInfo,
+    ) -> Optional[Tuple[int, List[ast.expr]]]:
+        """``(lineno, entries)`` of the MODEL_ALPHABET assignment, if any."""
+        for node in module.tree.body:
+            if isinstance(node, ast.AnnAssign):
+                target: Optional[ast.expr] = node.target
+                value = node.value
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+            else:
+                continue
+            if (
+                not isinstance(target, ast.Name)
+                or target.id != "MODEL_ALPHABET"
+                or value is None
+            ):
+                continue
+            if isinstance(value, ast.Tuple):
+                return node.lineno, list(value.elts)
+            return node.lineno, []
+        return None
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        alphabet: Optional[Tuple[ModuleInfo, int, List[ast.expr]]] = None
+        enum_members: Optional[Set[str]] = None
+        for module in modules:
+            found = self._find_alphabet(module)
+            if found is not None:
+                alphabet = (module, found[0], found[1])
+            class_def = _find_message_kind(module)
+            if class_def is not None:
+                enum_members = {
+                    name for name, _lineno, _value in _message_kind_members(class_def)
+                }
+        if alphabet is None or enum_members is None:
+            return
+        module, lineno, entries = alphabet
+        covered: Set[str] = set()
+        for entry in entries:
+            base = dotted_name(entry.value) if isinstance(entry, ast.Attribute) else None
+            if (
+                isinstance(entry, ast.Attribute)
+                and base is not None
+                and base.split(".")[-1] == "MessageKind"
+            ):
+                if entry.attr not in enum_members:
+                    yield self.finding(
+                        module,
+                        entry.lineno,
+                        f"MODEL_ALPHABET lists MessageKind.{entry.attr}, "
+                        f"which is not a member of the MessageKind enum",
+                    )
+                else:
+                    covered.add(entry.attr)
+            else:
+                yield self.finding(
+                    module,
+                    getattr(entry, "lineno", lineno),
+                    "MODEL_ALPHABET entries must be direct "
+                    "MessageKind.<NAME> references so the alphabet is "
+                    "statically checkable",
+                )
+        for name in sorted(enum_members - covered):
+            yield self.finding(
+                module,
+                lineno,
+                f"MessageKind.{name} is missing from MODEL_ALPHABET — the "
+                f"protocol model never verifies transitions for it",
+            )

@@ -10,6 +10,8 @@ Subcommands::
     repro lint [--format json] [paths…] # codebase-specific static analysis
     repro sanitize [--backend threaded] # runtime sanitizers (locks, races,
                                         # replay determinism)
+    repro modelcheck [--workers 3]      # explicit-state model checking of
+                                        # the abort/re-sync protocol
 
 ``run``, ``compare`` and ``experiment`` accept ``--trace PATH`` to capture
 a Chrome trace-event (Perfetto) file of the whole invocation; ``-v``
@@ -31,7 +33,9 @@ from typing import Callable, Dict, List, Optional
 
 import repro
 from repro import obs
-from repro.analysis import Severity, render_json, render_text, run_lint
+from repro.analysis import render_json, render_text, run_lint
+from repro.analysis.gate import add_fail_on_argument, gate_exit_code
+from repro.analysis.model.specsync import SCHEMES as MODEL_SCHEMES
 
 from repro.cluster.spec import ClusterSpec
 from repro.experiments import (
@@ -161,11 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-suppressed", action="store_true",
         help="also print findings waived by # repro: allow[...] comments",
     )
-    lint_parser.add_argument(
-        "--fail-on", choices=["error", "warning"], default="warning",
-        help="minimum severity that fails the run (default: warning, "
-             "i.e. any unsuppressed finding)",
-    )
+    add_fail_on_argument(lint_parser)
 
     sanitize_parser = sub.add_parser(
         "sanitize",
@@ -190,10 +190,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-replay", action="store_true",
         help="skip the (slower) replay-determinism check",
     )
-    sanitize_parser.add_argument(
-        "--fail-on", choices=["error", "warning"], default="warning",
-        help="minimum severity that fails the run (default: warning)",
+    add_fail_on_argument(sanitize_parser)
+
+    model_parser = sub.add_parser(
+        "modelcheck",
+        help="exhaustively model-check the SpecSync abort/re-sync "
+             "protocol (invariants, deadlock, liveness) and optionally "
+             "run the mutation harness and DES trace conformance",
     )
+    model_parser.add_argument(
+        "--scheme", choices=list(MODEL_SCHEMES) + ["all"], default="all",
+        help="which synchronization scheme's model to explore",
+    )
+    model_parser.add_argument("--workers", type=int, default=3,
+                              help="modelled worker count m")
+    model_parser.add_argument("--max-iterations", type=int, default=2,
+                              help="iteration bound that closes the state space")
+    model_parser.add_argument("--abort-rate", type=float, default=0.5,
+                              help="re-sync threshold as a fraction of m")
+    model_parser.add_argument("--staleness-bound", type=int, default=1,
+                              help="SSP staleness bound s")
+    model_parser.add_argument("--abort-budget", type=int, default=1,
+                              help="max aborts per worker per iteration")
+    model_parser.add_argument("--max-states", type=int, default=2_000_000,
+                              help="exploration cap (hitting it fails the run)")
+    model_parser.add_argument(
+        "--mutants", action="store_true",
+        help="also run the seeded-mutation harness (every known protocol "
+             "bug must be rejected with a counterexample)",
+    )
+    model_parser.add_argument(
+        "--conformance", action="store_true",
+        help="also shadow one seeded DES run per scheme against the model",
+    )
+    model_parser.add_argument("--seed", type=int, default=0,
+                              help="seed for the --conformance DES run")
+    model_parser.add_argument("--format", choices=["text", "json"],
+                              default="text")
+    model_parser.add_argument(
+        "--output", metavar="PATH",
+        help="also write the JSON report (with counterexample traces) "
+             "to PATH (for CI artifacts)",
+    )
+    add_fail_on_argument(model_parser)
     return parser
 
 
@@ -390,19 +429,6 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _gate_exit_code(findings, fail_on: str) -> int:
-    """1 if any unsuppressed finding meets the ``--fail-on`` threshold.
-
-    ``warning`` fails on any unsuppressed finding (the historical
-    behavior); ``error`` lets warnings through so CI can gate hard
-    defects while a warning backlog is being burned down.
-    """
-    active = [f for f in findings if not f.suppressed]
-    if fail_on == "error":
-        active = [f for f in active if f.severity is Severity.ERROR]
-    return 1 if active else 0
-
-
 def _cmd_lint(args) -> int:
     paths = args.paths or [os.path.dirname(os.path.abspath(repro.__file__))]
     try:
@@ -414,7 +440,7 @@ def _cmd_lint(args) -> int:
         print(render_json(findings))
     else:
         print(render_text(findings, show_suppressed=args.show_suppressed))
-    return _gate_exit_code(findings, args.fail_on)
+    return gate_exit_code(findings, args.fail_on)
 
 
 def _cmd_sanitize(args) -> int:
@@ -435,7 +461,33 @@ def _cmd_sanitize(args) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2)
         print(f"report written to {args.output}", file=sys.stderr)
-    return _gate_exit_code(report.findings, args.fail_on)
+    return gate_exit_code(report.findings, args.fail_on)
+
+
+def _cmd_modelcheck(args) -> int:
+    from repro.analysis.model import run_modelcheck
+
+    report = run_modelcheck(
+        schemes=None if args.scheme == "all" else [args.scheme],
+        workers=args.workers,
+        max_iterations=args.max_iterations,
+        abort_rate=args.abort_rate,
+        staleness_bound=args.staleness_bound,
+        abort_budget=args.abort_budget,
+        max_states=args.max_states,
+        mutants=args.mutants,
+        conformance=args.conformance,
+        seed=args.seed,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.output}", file=sys.stderr)
+    return gate_exit_code(report.findings, args.fail_on)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -461,6 +513,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args)
     if args.command == "sanitize":
         return _cmd_sanitize(args)
+    if args.command == "modelcheck":
+        return _cmd_modelcheck(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

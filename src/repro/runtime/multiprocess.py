@@ -18,7 +18,7 @@ import multiprocessing as mp
 import queue as queue_module
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.compute import ComputeTimeModel
 from repro.core.tuning import HyperparamTuner
@@ -81,7 +81,8 @@ def uninstall_mp_shim() -> None:
 # Server process
 # ----------------------------------------------------------------------
 def _server_main(initial_params, update_rule, request_queue, response_queues,
-                 stats_reply_queue, server_stop):  # pragma: no cover - separate process
+                 stats_reply_queue, server_stop,
+                 wire_queue=None):  # pragma: no cover - separate process
     params = initial_params.copy()
     version = 0
     staleness_sum = 0
@@ -94,11 +95,17 @@ def _server_main(initial_params, update_rule, request_queue, response_queues,
         kind = message[0]
         if kind == "pull":
             _, worker_id = message
+            if wire_queue is not None:
+                # Mirror the wire tag in processing order, for replay
+                # through the protocol model (trace conformance).
+                wire_queue.put(("pull", worker_id), timeout=_PUT_TIMEOUT_S)
             response_queues[worker_id].put(
                 ("params", params.copy(), version), timeout=_PUT_TIMEOUT_S
             )
         elif kind == "push":
             _, worker_id, gradient, snapshot_version = message
+            if wire_queue is not None:
+                wire_queue.put(("push", worker_id), timeout=_PUT_TIMEOUT_S)
             staleness_sum += version - snapshot_version
             staleness_count += 1
             update_rule.apply(params, gradient)
@@ -189,6 +196,11 @@ class MultiprocessRunResult:
     epochs_tuned: int
     wall_time_s: float
     per_worker_iterations: Dict[int, int]
+    #: The server's wire-tag stream in processing order — ``("pull", w)``
+    #: / ``("push", w)`` — when the run recorded one (``record_wire_trace``);
+    #: replayable through the protocol model via
+    #: :func:`repro.analysis.model.replay_wire_trace`.
+    wire_trace: Optional[List[Tuple[str, int]]] = None
 
 
 class MultiprocessRun:
@@ -206,6 +218,7 @@ class MultiprocessRun:
         tuner: Optional[HyperparamTuner] = None,
         seed: int = 0,
         max_aborts_per_iteration: int = 1,
+        record_wire_trace: bool = False,
     ):
         if not partitions:
             raise ValueError("need at least one partition/worker")
@@ -221,6 +234,7 @@ class MultiprocessRun:
         self.tuner = tuner
         self.seed = seed
         self.max_aborts_per_iteration = max_aborts_per_iteration
+        self.record_wire_trace = record_wire_trace
 
     def run(self, duration_s: float = 1.0) -> MultiprocessRunResult:
         """Spawn server + workers, run for ``duration_s`` wall seconds."""
@@ -246,10 +260,12 @@ class MultiprocessRun:
 
         stats_reply_queue = ctx.Queue()
         server_stop = ctx.Event()
+        wire_queue = ctx.Queue() if self.record_wire_trace else None
         server = ctx.Process(
             target=_server_main,
             args=(initial_params, self.update_rule, request_queue,
-                  response_queues, stats_reply_queue, server_stop),
+                  response_queues, stats_reply_queue, server_stop,
+                  wire_queue),
             daemon=True,
         )
         workers = [
@@ -349,6 +365,15 @@ class MultiprocessRun:
                 scheduler.close()
         wall = time.monotonic() - started
 
+        wire_trace: Optional[List[Tuple[str, int]]] = None
+        if wire_queue is not None:
+            wire_trace = []
+            while True:
+                try:
+                    wire_trace.append(wire_queue.get_nowait())
+                except queue_module.Empty:
+                    break
+
         inner = scheduler.inner if scheduler is not None else None
         return MultiprocessRunResult(
             total_iterations=version,
@@ -359,4 +384,5 @@ class MultiprocessRun:
             epochs_tuned=inner.epochs_completed if inner else 0,
             wall_time_s=wall,
             per_worker_iterations=per_worker,
+            wire_trace=wire_trace,
         )

@@ -197,9 +197,83 @@ def test_handled_wire_tag_is_clean():
 
 
 # ----------------------------------------------------------------------
-# The real protocol layer passes all four rules
+# PROTO-MODEL-ALPHABET
+# ----------------------------------------------------------------------
+GOOD_ALPHABET = textwrap.dedent(
+    """\
+    from repro.netsim.messages import MessageKind
+
+    MODEL_ALPHABET = (
+        MessageKind.PULL,
+        MessageKind.PUSH,
+    )
+    """
+)
+
+
+def alphabet_findings(alphabet_source, kinds_source=GOOD_KINDS):
+    return [
+        f
+        for f in project_findings(
+            (kinds_source, "repro.netsim.fixture"),
+            (alphabet_source, "repro.analysis.model.fixture"),
+        )
+        if f.rule_id == "PROTO-MODEL-ALPHABET"
+    ]
+
+
+def test_alphabet_in_sync_is_clean():
+    assert alphabet_findings(GOOD_ALPHABET) == []
+
+
+def test_missing_enum_member_fires():
+    incomplete = GOOD_ALPHABET.replace("    MessageKind.PUSH,\n", "")
+    findings = alphabet_findings(incomplete)
+    assert len(findings) == 1
+    assert "MessageKind.PUSH is missing" in findings[0].message
+
+
+def test_unknown_alphabet_entry_fires():
+    extra = GOOD_ALPHABET.replace(
+        "MessageKind.PUSH,", "MessageKind.PUSH,\n    MessageKind.EVICT,"
+    )
+    findings = alphabet_findings(extra)
+    assert len(findings) == 1
+    assert "MessageKind.EVICT" in findings[0].message
+    assert "not a member" in findings[0].message
+
+
+def test_non_attribute_entry_fires():
+    opaque = GOOD_ALPHABET.replace("MessageKind.PUSH,", '"push",')
+    findings = alphabet_findings(opaque)
+    # one for the opaque entry, one for PUSH now uncovered
+    assert len(findings) == 2
+    assert any("statically checkable" in f.message for f in findings)
+
+
+def test_alphabet_without_enum_in_batch_is_silent():
+    findings = [
+        f
+        for f in project_findings((GOOD_ALPHABET, "repro.analysis.model.fixture"))
+        if f.rule_id == "PROTO-MODEL-ALPHABET"
+    ]
+    assert findings == []
+
+
+def test_enum_without_alphabet_in_batch_is_silent():
+    findings = [
+        f
+        for f in project_findings((GOOD_KINDS, "repro.netsim.fixture"))
+        if f.rule_id == "PROTO-MODEL-ALPHABET"
+    ]
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# The real protocol layer passes all five rules
 # ----------------------------------------------------------------------
 def test_real_protocol_modules_are_clean():
+    import repro.analysis.model.specsync as model_specsync
     import repro.core.specsync as specsync
     import repro.netsim.messages as messages
     import repro.ps.engine as engine
@@ -208,7 +282,7 @@ def test_real_protocol_modules_are_clean():
 
     modules = [
         load_module(m.__file__)
-        for m in (messages, engine, specsync, multiprocess)
+        for m in (messages, engine, specsync, multiprocess, model_specsync)
     ]
     findings = [
         f

@@ -159,6 +159,12 @@ class TestLintFailOn:
         capsys.readouterr()
         assert main(["lint", "--fail-on", "error", pkg_dir]) == 0
 
+    def test_fail_on_never_always_passes(self, tmp_path, capsys):
+        path = _write_runtime_module(tmp_path, _WITH_ERROR)
+        assert main(["lint", "--fail-on", "never", path]) == 0
+        # Findings are still reported; only the exit code is waived.
+        assert "CONC-LOCK-ORDER" in capsys.readouterr().out
+
 
 class TestSanitizeCommand:
     def test_clean_run_exits_zero(self, capsys):
@@ -212,6 +218,55 @@ class TestSanitizeCommand:
     def test_backend_choice_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sanitize", "--backend", "smoke-signal"])
+
+
+class TestModelcheckCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["modelcheck"])
+        assert args.scheme == "all"
+        assert args.workers == 3
+        assert args.max_iterations == 2
+        assert args.fail_on == "warning"
+        assert args.mutants is False
+        assert args.conformance is False
+
+    def test_bsp_two_workers_passes(self, capsys):
+        assert main(["modelcheck", "--scheme", "bsp", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "modelcheck: PASS" in out
+        assert "bsp" in out
+
+    def test_json_report_written(self, tmp_path, capsys):
+        report_path = tmp_path / "modelcheck.json"
+        code = main(
+            ["modelcheck", "--scheme", "bsp", "--workers", "2",
+             "--format", "json", "--output", str(report_path)]
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["schemes"][0]["scheme"] == "bsp"
+        # stdout carries the same JSON document
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+
+    def test_truncation_fails_the_gate(self, capsys):
+        code = main(
+            ["modelcheck", "--scheme", "specsync", "--workers", "2",
+             "--max-states", "50"]
+        )
+        assert code == 1
+        assert "MODEL-TRUNCATED" in capsys.readouterr().out
+
+    def test_fail_on_never_waives_the_gate(self, capsys):
+        code = main(
+            ["modelcheck", "--scheme", "specsync", "--workers", "2",
+             "--max-states", "50", "--fail-on", "never"]
+        )
+        assert code == 0
+
+    def test_scheme_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["modelcheck", "--scheme", "psync"])
 
 
 class TestExperimentCommand:

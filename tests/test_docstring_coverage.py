@@ -14,7 +14,14 @@ MODULES = [
     "repro.analysis.dynamic.replay",
     "repro.analysis.dynamic.sanitize",
     "repro.analysis.dynamic.trace",
+    "repro.analysis.gate",
     "repro.analysis.graphs",
+    "repro.analysis.model",
+    "repro.analysis.model.checker",
+    "repro.analysis.model.conformance",
+    "repro.analysis.model.harness",
+    "repro.analysis.model.mutations",
+    "repro.analysis.model.specsync",
     "repro.cluster.compute",
     "repro.cluster.instances",
     "repro.cluster.scenarios",

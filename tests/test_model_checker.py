@@ -1,0 +1,150 @@
+"""Tests for the generic explicit-state checker on small toy models."""
+
+import pytest
+
+from repro.analysis.model.checker import explore
+
+
+class _Counter:
+    """A chain 0 → 1 → … → limit, with hooks for every property class."""
+
+    def __init__(
+        self,
+        limit=5,
+        bad_state=None,
+        bad_action=None,
+        deadlock_at=None,
+        trap_at=None,
+        in_flight_at_end=0,
+    ):
+        self.limit = limit
+        self.bad_state = bad_state
+        self.bad_action = bad_action
+        self.deadlock_at = deadlock_at
+        self.trap_at = trap_at
+        self.in_flight_at_end = in_flight_at_end
+        self.state_invariants = [
+            ("no-bad-state", lambda s: f"hit {s}" if s == self.bad_state else None)
+        ]
+        self.action_invariants = [
+            (
+                "no-bad-action",
+                lambda pre, a, post: f"fired {a}" if a == self.bad_action else None,
+            )
+        ]
+
+    def initial_state(self):
+        return 0
+
+    def is_terminal(self, state):
+        return state == self.limit
+
+    def in_flight(self, state):
+        return self.in_flight_at_end if state == self.limit else 0
+
+    def render_state(self, state):
+        return f"n={state}"
+
+    def render_action(self, action):
+        return str(action)
+
+    def successors(self, state):
+        if state == self.limit or state == self.deadlock_at:
+            return []
+        if state == self.trap_at:
+            return [(f"loop@{state}", state + 1000), (f"loop-back@{state}", state)]
+        if state >= 1000:
+            return [("spin", state)]  # a livelock component, never terminal
+        return [(f"inc@{state}", state + 1)]
+
+
+class TestHealthyExploration:
+    def test_clean_chain_passes(self):
+        result = explore(_Counter(limit=5))
+        assert result.ok
+        assert result.states == 6
+        assert result.transitions == 5
+        assert result.depth == 5
+        assert result.terminal_states == 1
+        assert result.violations == []
+
+    def test_dfs_explores_same_space(self):
+        bfs = explore(_Counter(limit=7), strategy="bfs")
+        dfs = explore(_Counter(limit=7), strategy="dfs")
+        assert (bfs.states, bfs.transitions) == (dfs.states, dfs.transitions)
+        assert dfs.ok
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            explore(_Counter(), strategy="random")
+
+
+class TestViolations:
+    def test_state_invariant_with_shortest_trace(self):
+        result = explore(_Counter(limit=5, bad_state=3))
+        assert not result.ok
+        (violation,) = result.violations
+        assert violation.kind == "state-invariant"
+        assert violation.name == "no-bad-state"
+        # init line + exactly 3 steps: BFS guarantees the shortest path.
+        assert violation.trace[0].startswith("  init: n=0")
+        assert len(violation.trace) == 4
+        assert violation.state == "n=3"
+
+    def test_action_invariant_names_the_action(self):
+        result = explore(_Counter(limit=5, bad_action="inc@2"))
+        (violation,) = result.violations
+        assert violation.kind == "action-invariant"
+        assert "inc@2" in violation.trace[-1]
+
+    def test_deadlock_detected(self):
+        result = explore(_Counter(limit=5, deadlock_at=2))
+        kinds = {v.kind for v in result.violations}
+        assert "deadlock" in kinds
+        deadlock = next(v for v in result.violations if v.kind == "deadlock")
+        assert deadlock.state == "n=2"
+
+    def test_livelock_detected(self):
+        # trap_at=2 branches into a spin component that never terminates.
+        result = explore(_Counter(limit=5, trap_at=2))
+        kinds = {v.kind for v in result.violations}
+        assert "livelock" in kinds
+
+    def test_dropped_message_at_quiescence(self):
+        result = explore(_Counter(limit=3, in_flight_at_end=2))
+        (violation,) = result.violations
+        assert violation.kind == "dropped-message"
+        assert "2 message(s)" in violation.message
+
+    def test_liveness_can_be_disabled(self):
+        result = explore(_Counter(limit=5, trap_at=2), check_liveness=False)
+        assert all(v.kind != "livelock" for v in result.violations)
+
+    def test_one_report_per_property(self):
+        # Every state from 0..limit-1 fires the same action invariant;
+        # the checker must report it once, not per transition.
+        model = _Counter(limit=5)
+        model.action_invariants = [("always", lambda pre, a, post: "boom")]
+        result = explore(model)
+        assert len([v for v in result.violations if v.name == "always"]) == 1
+
+
+class TestTruncation:
+    def test_max_states_sets_truncated(self):
+        result = explore(_Counter(limit=50), max_states=10)
+        assert result.truncated
+        assert not result.ok
+        assert result.states == 10
+
+    def test_render_includes_trace_and_state(self):
+        result = explore(_Counter(limit=5, bad_state=2))
+        text = result.violations[0].render()
+        assert "state-invariant [no-bad-state]" in text
+        assert "final state: n=2" in text
+
+    def test_to_dict_round_trips_counts(self):
+        result = explore(_Counter(limit=4))
+        data = result.to_dict()
+        assert data["states"] == 5
+        assert data["ok"] is True
+        assert data["violations"] == []

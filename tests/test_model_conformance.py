@@ -1,0 +1,178 @@
+"""Trace conformance: live runs projected onto the protocol model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.model import (
+    SCHEMES,
+    ShadowTracker,
+    SpecSyncModel,
+    replay_wire_trace,
+    run_des_conformance,
+)
+
+
+class TestDesConformance:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_seeded_run_is_conformant(self, scheme):
+        report = run_des_conformance(scheme=scheme, workers=3, seed=0)
+        assert report.ok, report.violations
+        assert report.transitions_checked > 100
+        assert report.events_observed > 0
+
+    def test_specsync_run_exercises_resyncs(self):
+        report = run_des_conformance(scheme="specsync", workers=3, seed=0)
+        # The default scenario must drive actual speculation traffic —
+        # otherwise the shadow never checks the interesting transitions.
+        assert report.action_counts.get("resync", 0) > 0
+        assert report.action_counts.get("notify", 0) > 0
+        assert report.inserted_checks > 0
+
+    def test_report_serializes(self):
+        report = run_des_conformance(scheme="asp", workers=2, seed=1, horizon_s=20.0)
+        data = report.to_dict()
+        assert data["ok"] is True
+        assert data["scheme"] == "asp"
+        assert data["transitions_checked"] == report.transitions_checked
+
+    def test_mismatched_threshold_is_flagged(self):
+        # The engine re-syncs at 0.4*m peer pushes; a model demanding
+        # 0.9*m must reject those re-syncs — proving the shadow is not
+        # vacuously accepting whatever it observes.
+        from repro.analysis.model.conformance import (
+            ConformanceReport,
+            _build_policy,
+            _ProjectionTap,
+        )
+        from repro.cluster.spec import ClusterSpec
+        from repro.events import Simulator
+        from repro.workloads import tiny_workload
+
+        policy = _build_policy("specsync", abort_time_s=1.0, abort_rate=0.4,
+                               staleness_bound=1)
+        engine = tiny_workload().build_engine(
+            ClusterSpec.homogeneous(3), policy, seed=0, horizon_s=40.0,
+            early_stop=False, max_aborts_per_iteration=1,
+        )
+        model = SpecSyncModel(num_workers=3, scheme="specsync",
+                              max_iterations=None, threshold=3 * 0.9,
+                              window_keep=8)
+        report = ConformanceReport(scheme="specsync", num_workers=3, seed=0)
+        tracker = ShadowTracker(model)
+        tap = _ProjectionTap(engine, tracker, report)
+        Simulator.install_tap(tap)
+        try:
+            engine.run()
+        finally:
+            Simulator.remove_tap(tap)
+        assert tracker.violations
+        assert "not enabled" in tracker.violations[0]
+
+
+class TestShadowTracker:
+    def test_requires_unbounded_model(self):
+        with pytest.raises(ValueError):
+            ShadowTracker(SpecSyncModel(num_workers=2, max_iterations=2))
+
+    def test_rejects_out_of_protocol_sequence(self):
+        tracker = ShadowTracker(
+            SpecSyncModel(num_workers=2, max_iterations=None, window_keep=4)
+        )
+        # A push before any pull was served is not a model transition.
+        error = tracker.observe("push", 0)
+        assert error is not None and "not enabled" in error
+        assert tracker.violations
+
+    def test_accepts_the_healthy_cycle(self):
+        tracker = ShadowTracker(
+            SpecSyncModel(num_workers=2, max_iterations=None, window_keep=4)
+        )
+        for kind in ("pull_request", "pull_response", "compute_done",
+                     "push", "push_ack"):
+            assert tracker.observe(kind, 0) is None, kind
+        assert tracker.steps == 5
+        assert tracker.state.workers[0].iteration == 1
+
+    def test_stops_after_violation_budget(self):
+        tracker = ShadowTracker(
+            SpecSyncModel(num_workers=2, max_iterations=None, window_keep=4)
+        )
+        for _ in range(5):
+            tracker.observe("push", 0)
+        assert tracker.broken
+        assert len(tracker.violations) == 3  # capped, then ignored
+
+
+class TestWireTraceReplay:
+    def test_clean_trace_passes(self):
+        trace = [("pull", 0), ("pull", 1), ("push", 0), ("push", 1),
+                 ("pull", 0), ("push", 0)]
+        assert replay_wire_trace(trace, num_workers=2) == []
+
+    def test_abort_repull_within_budget_passes(self):
+        trace = [("pull", 0), ("pull", 0), ("push", 0)]
+        assert replay_wire_trace(trace, num_workers=1, abort_budget=1) == []
+
+    def test_repull_beyond_budget_flagged(self):
+        trace = [("pull", 0), ("pull", 0), ("pull", 0)]
+        violations = replay_wire_trace(trace, num_workers=1, abort_budget=1)
+        assert violations and "abort budget" in violations[0]
+
+    def test_push_without_pull_flagged(self):
+        violations = replay_wire_trace([("push", 0)], num_workers=1)
+        assert violations and "without a served pull" in violations[0]
+
+    def test_unknown_worker_and_tag_flagged(self):
+        violations = replay_wire_trace(
+            [("pull", 7), ("sync", 0)], num_workers=2
+        )
+        assert len(violations) == 2
+
+
+class TestMultiprocessConformance:
+    def test_recorded_wire_trace_replays_through_model(self):
+        from repro.cluster.compute import ComputeTimeModel
+        from repro.core.hyperparams import SpecSyncHyperparams
+        from repro.core.tuning import FixedTuner
+        from repro.ml import SoftmaxRegressionModel, SyntheticImageDataset
+        from repro.ml.optim import ConstantSchedule, SgdUpdateRule
+        from repro.runtime import MultiprocessRun
+
+        dataset = SyntheticImageDataset(
+            num_classes=3, feature_dim=8, num_samples=800,
+            class_separation=3.0, warp=False, seed=0,
+        )
+        run = MultiprocessRun(
+            model=SoftmaxRegressionModel(input_dim=8, num_classes=3),
+            partitions=dataset.partition(4, np.random.default_rng(0)),
+            eval_batch=dataset.eval_batch(),
+            update_rule=SgdUpdateRule(ConstantSchedule(0.2)),
+            compute_model=ComputeTimeModel(mean_time_s=4.0, jitter_sigma=0.1),
+            batch_size=32,
+            time_scale=0.004,
+            tuner=FixedTuner(
+                SpecSyncHyperparams(abort_time_s=0.008, abort_rate=0.3)
+            ),
+            seed=0,
+            record_wire_trace=True,
+        )
+        result = run.run(0.7)
+        assert result.wire_trace is not None
+        assert len(result.wire_trace) > 0
+        violations = replay_wire_trace(
+            result.wire_trace, num_workers=4,
+            abort_budget=run.max_aborts_per_iteration,
+        )
+        assert violations == [], violations
+        # A corrupted tail (push with no pull) must be rejected.
+        corrupted = list(result.wire_trace) + [("push", 0), ("push", 0)]
+        assert replay_wire_trace(corrupted, num_workers=4)
+
+    def test_trace_off_by_default(self):
+        from repro.runtime.multiprocess import MultiprocessRunResult
+
+        # The field defaults to None so existing result consumers are
+        # unaffected when recording is off.
+        assert MultiprocessRunResult.__dataclass_fields__[
+            "wire_trace"
+        ].default is None

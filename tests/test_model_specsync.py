@@ -1,0 +1,156 @@
+"""Exhaustive verification of the SpecSync protocol model + mutants."""
+
+import pytest
+
+from repro.analysis.model import (
+    MODEL_ALPHABET,
+    MUTATIONS,
+    SCHEMES,
+    SpecSyncModel,
+    explore,
+    mutation_names,
+    run_modelcheck,
+    run_mutation_harness,
+)
+from repro.netsim.messages import MessageKind
+
+
+class TestHealthyExhaustive:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_two_workers_fully_verified(self, scheme):
+        model = SpecSyncModel(num_workers=2, scheme=scheme, max_iterations=2)
+        result = explore(model)
+        assert result.ok, "\n".join(v.render() for v in result.violations)
+        assert result.terminal_states >= 1
+        assert not result.truncated
+
+    def test_three_workers_specsync_smoke(self):
+        # The m=3 full sweep runs in CI via `repro modelcheck --workers 3`;
+        # here a reduced iteration bound keeps the tier-1 suite fast.
+        model = SpecSyncModel(num_workers=3, scheme="specsync", max_iterations=1)
+        result = explore(model)
+        assert result.ok
+        assert result.states > 100
+
+    def test_specsync_actually_resyncs(self):
+        # The healthy model must exercise the abort path — otherwise the
+        # re-sync invariants would be vacuously true.
+        model = SpecSyncModel(num_workers=2, scheme="specsync", max_iterations=2)
+        seen = set()
+        frontier = [model.initial_state()]
+        visited = {frontier[0]}
+        abort_seen = False
+        while frontier:
+            state = frontier.pop()
+            for action, nxt in model.successors(state):
+                seen.add(action.kind)
+                if action.kind == "resync":
+                    pre = state.workers[action.worker]
+                    post = nxt.workers[action.worker]
+                    if post.aborts > pre.aborts:
+                        abort_seen = True
+                if nxt not in visited:
+                    visited.add(nxt)
+                    frontier.append(nxt)
+        assert {k.wire_name for k in MessageKind} <= seen
+        assert abort_seen, "no abort is reachable — invariants are vacuous"
+
+    def test_bsp_never_resyncs(self):
+        model = SpecSyncModel(num_workers=2, scheme="bsp", max_iterations=2)
+        frontier = [model.initial_state()]
+        visited = {frontier[0]}
+        while frontier:
+            state = frontier.pop()
+            for action, nxt in model.successors(state):
+                assert action.kind not in ("notify", "resync", "resync_check")
+                if nxt not in visited:
+                    visited.add(nxt)
+                    frontier.append(nxt)
+
+
+class TestModelValidation:
+    def test_rejects_bad_scheme(self):
+        with pytest.raises(ValueError):
+            SpecSyncModel(num_workers=2, scheme="psync")
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            SpecSyncModel(num_workers=0)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            SpecSyncModel(num_workers=2, threshold=0.0)
+
+    def test_alphabet_mirrors_message_kind(self):
+        assert set(MODEL_ALPHABET) == set(MessageKind)
+
+    def test_render_vocabulary_uses_enum_names(self):
+        model = SpecSyncModel(num_workers=2)
+        state = model.initial_state()
+        actions = [a for a, _ in model.successors(state)]
+        rendered = {a.render().split()[0] for a in actions}
+        assert "PULL_REQUEST" in rendered
+
+
+@pytest.fixture(scope="module")
+def mutant_outcomes():
+    """One harness run shared by every mutation test (it is the slow bit)."""
+    return {o.mutation.name: o for o in run_mutation_harness()}
+
+
+class TestMutationHarness:
+    def test_registry_has_at_least_five(self):
+        assert len(MUTATIONS) >= 5
+        assert len(set(mutation_names())) == len(MUTATIONS)
+
+    def test_every_mutant_is_rejected(self, mutant_outcomes):
+        survivors = [name for name, o in mutant_outcomes.items() if not o.caught]
+        assert not survivors, f"mutants survived the checker: {survivors}"
+
+    def test_counterexamples_are_readable(self, mutant_outcomes):
+        for name, outcome in mutant_outcomes.items():
+            assert outcome.counterexample, name
+            assert outcome.counterexample[0].lstrip().startswith("init:")
+            # every subsequent line is a numbered step in MessageKind vocabulary
+            assert all(
+                line.lstrip().startswith("step ")
+                for line in outcome.counterexample[1:]
+            ), name
+
+    @pytest.mark.parametrize("mutation", MUTATIONS, ids=lambda m: m.name)
+    def test_expected_property_class_fires(self, mutation, mutant_outcomes):
+        outcome = mutant_outcomes[mutation.name]
+        assert outcome.caught
+        # `expect` names the property: "action-invariant foo",
+        # "state-invariant bar", "deadlock", "dropped-message ...".
+        words = mutation.expect.split()
+        expected_kind = words[0]
+        matching = [v for v in outcome.violations if v.startswith(expected_kind)]
+        assert matching, (
+            f"{mutation.name}: expected {mutation.expect}, got {outcome.violations}"
+        )
+        if len(words) > 1 and expected_kind.endswith("invariant"):
+            assert any(words[1] in v for v in matching), (
+                f"{mutation.name}: expected invariant {words[1]!r} "
+                f"among {matching}"
+            )
+
+
+class TestRunModelcheck:
+    def test_all_schemes_pass_at_m2(self):
+        report = run_modelcheck(workers=2)
+        assert report.ok, report.render_text()
+        assert [c.scheme for c in report.schemes] == list(SCHEMES)
+        assert report.findings == []
+
+    def test_truncation_becomes_a_finding(self):
+        report = run_modelcheck(schemes=["specsync"], workers=2, max_states=50)
+        assert not report.ok
+        assert any(f.rule_id == "MODEL-TRUNCATED" for f in report.findings)
+
+    def test_report_serializes(self):
+        report = run_modelcheck(schemes=["bsp"], workers=2)
+        data = report.to_dict()
+        assert data["ok"] is True
+        assert data["schemes"][0]["scheme"] == "bsp"
+        assert "PASS" in report.render_text()
