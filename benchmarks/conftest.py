@@ -11,11 +11,17 @@ horizons).
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import time
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Bumped when the ``<name>.meta.json`` sidecar layout changes.
+ARCHIVE_META_VERSION = 1
 
 
 @pytest.fixture(scope="session")
@@ -26,12 +32,29 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture
 def archive(results_dir):
-    """Save rendered experiment output and echo it to stdout."""
+    """Save rendered experiment output and echo it to stdout.
+
+    Alongside each ``<name>.txt`` a ``<name>.meta.json`` sidecar records
+    the wall time from fixture setup to the archive call and the
+    ``REPRO_SCALE`` the run used, so archived numbers can be compared
+    like-for-like across captures.
+    """
+    started = time.perf_counter()
 
     def _archive(name: str, text: str) -> None:
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
-        print(f"\n{text}\n[saved to {path}]")
+        meta = {
+            "schema_version": ARCHIVE_META_VERSION,
+            "name": name,
+            "wall_time_s": round(time.perf_counter() - started, 6),
+            "repro_scale": os.environ.get("REPRO_SCALE", "full"),
+        }
+        meta_path = results_dir / f"{name}.meta.json"
+        with meta_path.open("w", encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"\n{text}\n[saved to {path}; meta in {meta_path}]")
 
     return _archive
 

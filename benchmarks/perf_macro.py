@@ -1,0 +1,43 @@
+"""Macro performance benchmarks: end-to-end wall-clock runtime throughput.
+
+Not part of the tier-1 suite (the filename is outside the ``test_*.py``
+glob); run explicitly::
+
+    REPRO_SCALE=smoke PYTHONPATH=src python -m pytest benchmarks/perf_macro.py -q
+
+Covers the threaded and multi-process backends, which exercise real
+locks, queues, and process start-up — the numbers are machine-dependent
+(``kind="rate"``), so the compare gate holds them to the generous rate
+tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.perfbench import bench_payload, render_results, run_benchmarks
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+MACRO_BENCHES = ["runtime_threaded", "runtime_multiprocess"]
+
+
+def _emit(results, scale: str) -> None:
+    for result in results:
+        path = REPO_ROOT / f"BENCH_{result.name}.json"
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(bench_payload([result], scale), handle,
+                      indent=1, sort_keys=True)
+            handle.write("\n")
+
+
+def test_perf_macro(archive):
+    scale = os.environ.get("REPRO_SCALE", "full")
+    results = run_benchmarks(MACRO_BENCHES, scale=scale)
+    _emit(results, scale)
+    assert {r.name for r in results} == set(MACRO_BENCHES)
+    for result in results:
+        assert result.metrics["total_iterations"].value > 0
+    archive("perf_macro", render_results(results))

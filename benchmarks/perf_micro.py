@@ -1,0 +1,46 @@
+"""Micro performance benchmarks: engine, scheduler, and netsim throughput.
+
+Not part of the tier-1 suite (the filename is outside the ``test_*.py``
+glob); run explicitly, typically at smoke scale in CI::
+
+    REPRO_SCALE=smoke PYTHONPATH=src python -m pytest benchmarks/perf_micro.py -q
+
+Each bench writes a schema-versioned ``BENCH_<name>.json`` at the repo
+root for ``repro bench --compare`` and archives the rendered table under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.perfbench import bench_payload, render_results, run_benchmarks
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+MICRO_BENCHES = ["engine", "scheduler", "netsim"]
+
+
+def _scale() -> str:
+    return os.environ.get("REPRO_SCALE", "full")
+
+
+def _emit(results, scale: str) -> None:
+    for result in results:
+        path = REPO_ROOT / f"BENCH_{result.name}.json"
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(bench_payload([result], scale), handle,
+                      indent=1, sort_keys=True)
+            handle.write("\n")
+
+
+def test_perf_micro(archive):
+    scale = _scale()
+    results = run_benchmarks(MICRO_BENCHES, scale=scale)
+    _emit(results, scale)
+    assert {r.name for r in results} == set(MICRO_BENCHES)
+    for result in results:
+        assert result.metrics["wall_s"].value > 0
+    archive("perf_micro", render_results(results))

@@ -7,6 +7,9 @@ Subcommands::
     repro compare --workload cifar10 --schemes original adaptive
     repro experiment fig8               # regenerate a paper table/figure
     repro trace out.json                # summarize a --trace capture
+    repro perf report out.json          # profiler/straggler dashboard
+    repro bench [names…] --scale smoke  # emit BENCH_<name>.json files
+    repro bench --compare OLD NEW       # regression-gate two bench files
     repro lint [--format json] [paths…] # codebase-specific static analysis
     repro sanitize [--backend threaded] # runtime sanitizers (locks, races,
                                         # replay determinism)
@@ -149,6 +152,55 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("path", help="trace JSON file to summarize")
     trace_parser.add_argument("--format", choices=["text", "json"],
                               default="text")
+
+    perf_parser = sub.add_parser(
+        "perf", help="performance dashboards built from --trace captures"
+    )
+    perf_sub = perf_parser.add_subparsers(dest="perf_command", required=True)
+    perf_report_parser = perf_sub.add_parser(
+        "report",
+        help="render the profiler/straggler dashboard from a trace file",
+    )
+    perf_report_parser.add_argument("path", help="trace JSON file to inspect")
+    perf_report_parser.add_argument("--format", choices=["text", "json"],
+                                    default="text")
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the continuous benchmarks (emit BENCH_<name>.json) or "
+             "compare two bench files with the regression gate",
+    )
+    bench_parser.add_argument(
+        "names", nargs="*",
+        help="benchmarks to run (default: all; see repro.perfbench.BENCHES)",
+    )
+    bench_parser.add_argument(
+        "--scale", choices=["smoke", "full"], default=None,
+        help="benchmark sizing (default: $REPRO_SCALE or 'full')",
+    )
+    bench_parser.add_argument(
+        "--output-dir", default=".", metavar="DIR",
+        help="directory for the per-benchmark BENCH_<name>.json files",
+    )
+    bench_parser.add_argument(
+        "--suite", metavar="PATH",
+        help="also write one combined bench file with every result",
+    )
+    bench_parser.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"),
+        help="skip running: diff two bench files and gate on regressions",
+    )
+    bench_parser.add_argument(
+        "--threshold", type=float, default=None,
+        help="tolerated fraction for deterministic 'count' metrics "
+             "(default 0.10)",
+    )
+    bench_parser.add_argument(
+        "--rate-tolerance", type=float, default=None,
+        help="tolerated fraction for wall-clock 'rate' metrics "
+             "(default 0.15)",
+    )
+    add_fail_on_argument(bench_parser)
 
     lint_parser = sub.add_parser(
         "lint",
@@ -421,11 +473,88 @@ def _cmd_trace(args) -> int:
             "unpaired_flows": summary.unpaired_flows,
             "abort_flow_pairs": summary.abort_flow_pairs,
             "counters": dict(sorted(summary.counters.items())),
+            "gauges": dict(sorted(summary.gauges.items())),
             "histograms": dict(sorted(summary.histograms.items())),
+            "perf": summary.perf,
             "metadata": dict(sorted(summary.metadata.items())),
         }, indent=2))
     else:
         print(obs.render_summary(summary))
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            trace = obs.load_trace(handle)
+    except (OSError, ValueError) as exc:
+        print(f"repro perf: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(trace.get("perf", {}), indent=2, sort_keys=True))
+    else:
+        print(obs.render_perf_report(trace))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.perfbench import (
+        bench_payload,
+        compare_benchmarks,
+        load_bench_payload,
+        render_comparison,
+        render_results,
+        resolve_scale,
+        run_benchmarks,
+    )
+
+    if args.compare:
+        old_path, new_path = args.compare
+        try:
+            old_payload = load_bench_payload(old_path)
+            new_payload = load_bench_payload(new_path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro bench: error: {exc}", file=sys.stderr)
+            return 2
+        print(render_comparison(old_payload, new_payload))
+        findings = compare_benchmarks(
+            old_payload,
+            new_payload,
+            new_path=new_path,
+            threshold=args.threshold,
+            rate_tolerance=args.rate_tolerance,
+        )
+        print()
+        print(render_text(findings))
+        return gate_exit_code(findings, args.fail_on)
+
+    try:
+        scale = resolve_scale(args.scale or os.environ.get("REPRO_SCALE"))
+        results = run_benchmarks(args.names or None, scale=scale)
+    except ValueError as exc:
+        print(f"repro bench: error: {exc}", file=sys.stderr)
+        return 2
+    print(render_results(results))
+    written = []
+    try:
+        os.makedirs(args.output_dir, exist_ok=True)
+        for result in results:
+            path = os.path.join(args.output_dir, f"BENCH_{result.name}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(bench_payload([result], scale), handle,
+                          indent=1, sort_keys=True)
+                handle.write("\n")
+            written.append(path)
+        if args.suite:
+            with open(args.suite, "w", encoding="utf-8") as handle:
+                json.dump(bench_payload(results, scale), handle,
+                          indent=1, sort_keys=True)
+                handle.write("\n")
+            written.append(args.suite)
+    except OSError as exc:
+        print(f"repro bench: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"\nwrote {', '.join(written)}", file=sys.stderr)
     return 0
 
 
@@ -509,6 +638,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_experiment(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "sanitize":

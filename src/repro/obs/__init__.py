@@ -41,12 +41,23 @@ from repro.obs.log import (
     get_logger,
     install_null_handler,
 )
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.perf import (
+    NULL_PROFILER,
+    PERF_SCHEMA_VERSION,
+    NullProfiler,
+    PerfProfile,
+    Profiler,
+    profiler_for,
+)
+from repro.obs.perf_report import render_perf_report
 from repro.obs.perfetto import (
     TRACE_FORMAT_VERSION,
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.straggler import AbortStormDetector, StragglerDetector
+from repro.obs.timeseries import Ewma, WindowedSeries
 from repro.obs.tracks import (
     RT_RUN_TRACK,
     RT_SCHEDULER_TRACK,
@@ -87,8 +98,20 @@ __all__ = [
     "get_logger",
     "install_null_handler",
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PROFILER",
+    "PERF_SCHEMA_VERSION",
+    "NullProfiler",
+    "PerfProfile",
+    "Profiler",
+    "profiler_for",
+    "render_perf_report",
+    "AbortStormDetector",
+    "StragglerDetector",
+    "Ewma",
+    "WindowedSeries",
     "TRACE_FORMAT_VERSION",
     "to_chrome_trace",
     "write_chrome_trace",

@@ -1,4 +1,4 @@
-"""A small metrics registry: named counters and histograms with snapshots.
+"""A small metrics registry: named counters, gauges, and histograms.
 
 Instruments are created lazily by name and live for the length of one
 collection (a run, an experiment).  The registry is shared between the
@@ -14,10 +14,11 @@ seeded DES run produces byte-identical metric reports.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Dict, List, Optional
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 #: Default histogram bucket upper bounds (seconds-flavored but unitless):
 #: covers microseconds to hours with ~3 buckets per decade.
@@ -49,8 +50,41 @@ class Counter:
         return f"Counter({self.name!r}, value={self.value:g})"
 
 
+class Gauge:
+    """A named value that may move in either direction (queue depth, rate)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        """Current value."""
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value:g})"
+
+
 class Histogram:
-    """Aggregates observations: count/sum/min/max plus coarse buckets."""
+    """Aggregates observations: count/sum/min/max, exact percentiles, buckets.
+
+    Raw observations are retained (one float per ``observe``) so snapshots
+    report *exact* nearest-rank percentiles rather than bucket-interpolated
+    estimates; collections here are bounded by one run's instrumentation
+    volume, which keeps that affordable.
+    """
 
     def __init__(self, name: str, buckets: Optional[tuple] = None) -> None:
         self.name = name
@@ -60,11 +94,13 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._values: List[float] = []
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         self.count += 1
         self.total += value
+        self._values.append(value)
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
@@ -82,14 +118,38 @@ class Histogram:
             return None
         return self.total / self.count
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Exact nearest-rank percentile ``q`` in [0, 100] (None when empty)."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._values:
+            return None
+        ordered = sorted(self._values)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
     def snapshot(self) -> dict:
-        """Aggregate view (buckets omitted when empty)."""
+        """Aggregate view: count/sum/min/max/mean, p50/p90/p99, non-empty buckets.
+
+        ``buckets`` maps the upper bound (``"+inf"`` for overflow) to its
+        count, listing only non-empty buckets so snapshots stay compact.
+        """
+        buckets: Dict[str, int] = {}
+        for index, bound in enumerate(self.bounds):
+            if self.bucket_counts[index]:
+                buckets[f"{bound:g}"] = self.bucket_counts[index]
+        if self.bucket_counts[-1]:
+            buckets["+inf"] = self.bucket_counts[-1]
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "buckets": buckets,
         }
 
     def __repr__(self) -> str:
@@ -102,6 +162,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -111,6 +172,14 @@ class MetricsRegistry:
             with self._lock:
                 counter = self._counters.setdefault(name, Counter(name))
         return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(name))
+        return gauge
 
     def histogram(self, name: str) -> Histogram:
         """The histogram named ``name``, created on first use."""
@@ -127,6 +196,10 @@ class MetricsRegistry:
                 name: self._counters[name].snapshot()
                 for name in sorted(self._counters)
             },
+            "gauges": {
+                name: self._gauges[name].snapshot()
+                for name in sorted(self._gauges)
+            },
             "histograms": {
                 name: self._histograms[name].snapshot()
                 for name in sorted(self._histograms)
@@ -134,21 +207,27 @@ class MetricsRegistry:
         }
 
     def render_text(self) -> str:
-        """Human-readable snapshot, one instrument per line."""
+        """Human-readable snapshot: counters, then gauges, then histograms,
+        each section alphabetical — stable-ordered for golden comparisons."""
         lines: List[str] = []
         snap = self.snapshot()
         for name, value in snap["counters"].items():
             lines.append(f"counter   {name} = {value:g}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"gauge     {name} = {value:g}")
         for name, agg in snap["histograms"].items():
             mean = f"{agg['mean']:.6g}" if agg["mean"] is not None else "-"
+            p50 = f"{agg['p50']:.6g}" if agg["p50"] is not None else "-"
+            p99 = f"{agg['p99']:.6g}" if agg["p99"] is not None else "-"
             lines.append(
                 f"histogram {name}: count={agg['count']} mean={mean} "
-                f"min={agg['min']} max={agg['max']}"
+                f"p50={p50} p99={p99} min={agg['min']} max={agg['max']}"
             )
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
     def __repr__(self) -> str:
         return (
             f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, "
             f"histograms={len(self._histograms)})"
         )

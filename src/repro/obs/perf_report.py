@@ -1,0 +1,152 @@
+"""The ``repro perf report`` terminal dashboard — the read side of the
+profiler.
+
+Renders the ``"perf"`` section of an exported trace file (see
+:mod:`repro.obs.perfetto`): phase latency percentiles, event-loop hot
+paths, per-worker time-series sparklines, and the straggler/abort-storm
+detector verdicts.  Pure formatting over a parsed JSON object — no clock
+reads, no collector access — so it can run anywhere a trace file can be
+copied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.utils.ascii_plot import sparkline
+from repro.utils.tables import TextTable
+
+__all__ = ["render_perf_report"]
+
+#: hot-path counters shown before the listing is elided
+_TOP_COUNTERS = 15
+
+
+def _fmt(value: Optional[float]) -> str:
+    return f"{value:.6g}" if value is not None else "-"
+
+
+def _render_phases(phases: Dict[str, dict]) -> str:
+    table = TextTable(
+        ["phase", "count", "mean s", "p50 s", "p90 s", "p99 s", "max s"],
+        title="phase latency percentiles",
+    )
+    for name in sorted(phases):
+        agg = phases[name]
+        table.add_row(
+            [
+                name,
+                str(agg.get("count")),
+                _fmt(agg.get("mean")),
+                _fmt(agg.get("p50")),
+                _fmt(agg.get("p90")),
+                _fmt(agg.get("p99")),
+                _fmt(agg.get("max")),
+            ]
+        )
+    return table.render()
+
+def _render_counters(counters: Dict[str, float]) -> str:
+    ranked = sorted(counters.items(), key=lambda item: (-item[1], item[0]))
+    table = TextTable(["counter", "hits"], title="hot paths")
+    for name, value in ranked[:_TOP_COUNTERS]:
+        table.add_row([name, f"{value:g}"])
+    rendered = table.render()
+    if len(ranked) > _TOP_COUNTERS:
+        rendered += f"\n  … {len(ranked) - _TOP_COUNTERS} more counters elided"
+    return rendered
+
+
+def _render_series(series: Dict[str, dict]) -> str:
+    table = TextTable(
+        ["series", "n", "mean", "ewma", "window"], title="time series"
+    )
+    for name in sorted(series):
+        snap = series[name]
+        window = snap.get("window") or []
+        values = [point[1] for point in window]
+        table.add_row(
+            [
+                name,
+                str(snap.get("count")),
+                _fmt(snap.get("mean")),
+                _fmt(snap.get("ewma")),
+                sparkline(values, width=24) if values else "-",
+            ]
+        )
+    return table.render()
+
+
+def _render_straggler(name: str, verdict: dict) -> List[str]:
+    lines = []
+    stragglers = verdict.get("stragglers", [])
+    if stragglers:
+        flagged = ", ".join(f"w{worker}" for worker in stragglers)
+        lines.append(f"  {name}: STRAGGLERS {flagged}")
+    else:
+        lines.append(f"  {name}: no stragglers flagged")
+    z_scores = verdict.get("z_scores", {})
+    if z_scores:
+        ranked = sorted(z_scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        worst = ", ".join(f"w{worker} z={z:+.2f}" for worker, z in ranked[:4])
+        lines.append(f"    interval z-scores: {worst}")
+    return lines
+
+
+def _render_reports(reports: Dict[str, dict]) -> str:
+    lines: List[str] = ["anomaly detectors"]
+    for name in sorted(reports):
+        payload = reports[name]
+        straggler = payload.get("straggler")
+        if isinstance(straggler, dict):
+            lines.extend(_render_straggler(name, straggler))
+        storm = payload.get("abort_storm")
+        if isinstance(storm, dict):
+            ratio = storm.get("abort_ratio")
+            state = "STORMING" if storm.get("storming") else "calm"
+            lines.append(
+                f"  {name}: abort storm {state} "
+                f"(ratio={_fmt(ratio)}, storms={storm.get('storm_count', 0)}, "
+                f"aborts={storm.get('total_aborts', 0)})"
+            )
+    return "\n".join(lines)
+
+
+def render_perf_report(trace: dict) -> str:
+    """Render the perf dashboard for a parsed trace object.
+
+    Degrades gracefully: traces captured before format v2 (or with the
+    profiler idle) get a clear one-line message instead of empty tables.
+    """
+    sections: List[str] = []
+    metadata = trace.get("otherData", {})
+    context = ", ".join(
+        f"{key}={metadata[key]}" for key in sorted(metadata)
+    )
+    sections.append(f"perf report ({context})" if context else "perf report")
+
+    perf = trace.get("perf")
+    if not isinstance(perf, dict):
+        sections.append(
+            "no perf data in this trace — re-capture with --trace using a "
+            "format v2+ build"
+        )
+        return "\n\n".join(sections)
+
+    phases = perf.get("phases") or {}
+    counters = perf.get("counters") or {}
+    series = perf.get("series") or {}
+    reports = perf.get("reports") or {}
+    if not (phases or counters or series or reports):
+        sections.append("perf section present but empty — profiler never fired")
+        return "\n\n".join(sections)
+
+    if phases:
+        sections.append(_render_phases(phases))
+    if counters:
+        sections.append(_render_counters(counters))
+    if series:
+        sections.append(_render_series(series))
+    if reports:
+        sections.append(_render_reports(reports))
+    return "\n\n".join(sections)

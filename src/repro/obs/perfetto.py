@@ -13,8 +13,9 @@ Lays a collected trace out in the JSON object format both
   from every peer push that triggered it.
 
 The run's metrics snapshot rides along under a top-level ``"metrics"``
-key (the trace-event format explicitly allows extra top-level keys);
-``repro trace`` reads it back for the text summary.
+key and the profiler's snapshot under ``"perf"`` (the trace-event
+format explicitly allows extra top-level keys); ``repro trace`` and
+``repro perf report`` read them back for the text summaries.
 
 Determinism: event order follows record order, flow ids are assigned
 sequentially, and the JSON is dumped with sorted keys — a seeded DES run
@@ -37,7 +38,9 @@ from repro.obs.core import (
 __all__ = ["to_chrome_trace", "write_chrome_trace", "TRACE_FORMAT_VERSION"]
 
 #: Bumped whenever the layout of the exported JSON changes shape.
-TRACE_FORMAT_VERSION = 1
+#: v2: top-level "perf" section; histogram snapshots carry exact
+#: percentiles and non-empty buckets; metrics gained "gauges".
+TRACE_FORMAT_VERSION = 2
 
 #: Stable pid per clock domain (virtual first: it is the primary substrate).
 _DOMAIN_PIDS = {"virtual": 1, "wall": 2}
@@ -189,6 +192,7 @@ def to_chrome_trace(collector: TraceCollector) -> dict:
         "displayTimeUnit": "ms",
         "otherData": other_data,
         "metrics": collector.metrics.snapshot(),
+        "perf": collector.perf.snapshot(),
     }
 
 

@@ -30,13 +30,28 @@ class TraceSummary:
     flows: Dict[str, int] = field(default_factory=dict)
     unpaired_flows: int = 0
     counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
     histograms: Dict[str, dict] = field(default_factory=dict)
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: the trace's top-level "perf" section (profiler snapshot), if any
+    perf: Dict[str, object] = field(default_factory=dict)
 
     @property
     def abort_flow_pairs(self) -> int:
         """Complete causal arrows in the abort category."""
         return self.flows.get("abort", 0)
+
+    @property
+    def empty(self) -> bool:
+        """True when the file carries neither events nor metrics/perf data
+        (e.g. a capture where instrumentation never fired)."""
+        return not (
+            self.total_events
+            or self.counters
+            or self.gauges
+            or self.histograms
+            or self.perf
+        )
 
 
 def load_trace(source: IO[str]) -> dict:
@@ -84,8 +99,14 @@ def summarize_trace(trace: dict) -> TraceSummary:
 
     metrics = trace.get("metrics", {})
     summary.counters = dict(metrics.get("counters", {}))
+    summary.gauges = dict(metrics.get("gauges", {}))
     summary.histograms = dict(metrics.get("histograms", {}))
     summary.metadata = dict(trace.get("otherData", {}))
+    perf = trace.get("perf", {})
+    if isinstance(perf, dict) and any(
+        perf.get(section) for section in ("phases", "counters", "series", "reports")
+    ):
+        summary.perf = dict(perf)
     return summary
 
 
@@ -101,6 +122,17 @@ def render_summary(summary: TraceSummary) -> str:
     if context:
         header += f" ({context})"
     lines.append(header)
+
+    if summary.empty:
+        lines.append(
+            "trace file is empty (no events, metrics, or perf data) — "
+            "was instrumentation enabled during capture?"
+        )
+        return "\n\n".join(lines)
+    if summary.total_events == 0:
+        lines.append(
+            "no trace events (metrics-only capture); metric sections follow"
+        )
 
     if summary.spans:
         table = TextTable(["span", "count", "total ms", "mean ms"], title="spans")
@@ -122,27 +154,54 @@ def render_summary(summary: TraceSummary) -> str:
             table.add_row([name, str(summary.instants[name])])
         lines.append(table.render())
 
-    if summary.counters or summary.histograms:
+    if summary.counters or summary.gauges or summary.histograms:
         table = TextTable(["metric", "value"], title="metrics")
         for name in sorted(summary.counters):
             table.add_row([name, f"{summary.counters[name]:g}"])
+        for name in sorted(summary.gauges):
+            table.add_row([name, f"{summary.gauges[name]:g}"])
         for name in sorted(summary.histograms):
             agg = summary.histograms[name]
             mean: Optional[float] = agg.get("mean")
             rendered = f"count={agg.get('count')}"
             if mean is not None:
                 rendered += f" mean={mean:.6g}"
+            p99 = agg.get("p99")
+            if p99 is not None:
+                rendered += f" p99={p99:.6g}"
             table.add_row([name, rendered])
         lines.append(table.render())
 
-    causality = (
-        f"abort causality: {summary.abort_flow_pairs} complete flow pairs"
-    )
-    total_pairs = sum(summary.flows.values())
-    other_pairs = total_pairs - summary.abort_flow_pairs
-    if other_pairs:
-        causality += f", {other_pairs} other"
-    if summary.unpaired_flows:
-        causality += f", {summary.unpaired_flows} unpaired"
-    lines.append(causality)
+    if summary.perf:
+        phases = summary.perf.get("phases", {})
+        if isinstance(phases, dict) and phases:
+            table = TextTable(
+                ["phase", "count", "p50 s", "p99 s"], title="perf phases"
+            )
+            for name in sorted(phases):
+                agg = phases[name]
+                p50 = agg.get("p50")
+                p99 = agg.get("p99")
+                table.add_row(
+                    [
+                        name,
+                        str(agg.get("count")),
+                        f"{p50:.6g}" if p50 is not None else "-",
+                        f"{p99:.6g}" if p99 is not None else "-",
+                    ]
+                )
+            lines.append(table.render())
+        lines.append("perf data present — see `repro perf report` for the dashboard")
+
+    if summary.total_events:
+        causality = (
+            f"abort causality: {summary.abort_flow_pairs} complete flow pairs"
+        )
+        total_pairs = sum(summary.flows.values())
+        other_pairs = total_pairs - summary.abort_flow_pairs
+        if other_pairs:
+            causality += f", {other_pairs} other"
+        if summary.unpaired_flows:
+            causality += f", {summary.unpaired_flows} unpaired"
+        lines.append(causality)
     return "\n\n".join(lines)

@@ -1,0 +1,35 @@
+"""repro.perfbench — the continuous-benchmark pipeline behind ``repro bench``.
+
+Micro/macro benchmarks for every layer (DES engine, scheduler, netsim,
+wall-clock runtimes) that emit schema-versioned ``BENCH_<name>.json``
+files, plus a regression gate (``repro bench --compare old.json new.json
+--fail-on ...``) wired through the shared analysis gate.  See
+``docs/observability.md`` ("Continuous benchmarking") for the workflow
+and ``benchmarks/baselines/`` for the committed CI baseline.
+"""
+
+from repro.perfbench.benches import BENCHES, SCALES, resolve_scale, run_benchmarks
+from repro.perfbench.compare import compare_benchmarks, render_comparison
+from repro.perfbench.core import (
+    BENCH_SCHEMA_VERSION,
+    BenchMetric,
+    BenchResult,
+    bench_payload,
+    load_bench_payload,
+    render_results,
+)
+
+__all__ = [
+    "BENCHES",
+    "SCALES",
+    "resolve_scale",
+    "run_benchmarks",
+    "compare_benchmarks",
+    "render_comparison",
+    "BENCH_SCHEMA_VERSION",
+    "BenchMetric",
+    "BenchResult",
+    "bench_payload",
+    "load_bench_payload",
+    "render_results",
+]

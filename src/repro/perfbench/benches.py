@@ -1,0 +1,245 @@
+"""The benchmark registry: micro/macro benches behind ``repro bench``.
+
+Each bench is a function ``(scale: str) -> BenchResult`` covering one
+layer of the system:
+
+* ``engine`` — DES training-engine step throughput (events and
+  iterations per wall second for a seeded SpecSync run);
+* ``scheduler`` — SpecSync scheduler decision latency on a synthetic
+  notify stream (no simulator, no network — Algorithm 2 alone);
+* ``netsim`` — simulator + network message rate;
+* ``runtime_threaded`` / ``runtime_multiprocess`` — end-to-end
+  iterations/sec of the wall-clock backends.
+
+This package lives *outside* the determinism lint zone on purpose: it is
+the one place (besides ``repro.runtime``) allowed to read the wall clock,
+because measuring wall throughput is its whole job.  Deterministic
+quantities from the DES benches are tagged ``kind="count"`` so the
+compare gate can hold them to a tight tolerance.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.perfbench.core import BenchResult
+
+__all__ = ["BENCHES", "SCALES", "run_benchmarks", "resolve_scale"]
+
+#: Workload sizes per scale; smoke keeps the CI job under ~1 minute.
+SCALES = ("smoke", "full")
+
+_ENGINE_HORIZON_S = {"smoke": 60.0, "full": 240.0}
+_SCHEDULER_NOTIFIES = {"smoke": 2000, "full": 20000}
+_NETSIM_MESSAGES = {"smoke": 5000, "full": 50000}
+_THREADED_DURATION_S = {"smoke": 0.4, "full": 1.5}
+_MULTIPROCESS_DURATION_S = {"smoke": 0.6, "full": 2.0}
+
+
+def resolve_scale(scale: Optional[str]) -> str:
+    """Validate a scale name (default ``"full"``)."""
+    resolved = scale or "full"
+    if resolved not in SCALES:
+        raise ValueError(f"unknown scale {resolved!r}; choose from {SCALES}")
+    return resolved
+
+
+def _bench_engine(scale: str) -> BenchResult:
+    """DES engine step throughput on the tiny workload under SpecSync."""
+    from repro.cluster.spec import ClusterSpec
+    from repro.core.specsync import SpecSyncPolicy
+    from repro.workloads import tiny_workload
+
+    engine = tiny_workload().build_engine(
+        ClusterSpec.homogeneous(4),
+        SpecSyncPolicy.adaptive(),
+        seed=3,
+        horizon_s=_ENGINE_HORIZON_S[scale],
+    )
+    started = time.perf_counter()
+    run = engine.run()
+    wall = time.perf_counter() - started
+
+    result = BenchResult(name="engine", scale=scale)
+    result.add("wall_s", wall, "s", higher_is_better=False)
+    result.add("events_per_s", engine.sim.events_fired / wall, "events/s")
+    result.add("iterations_per_s", run.total_iterations / wall, "iter/s")
+    result.add(
+        "total_iterations", run.total_iterations, "iter", kind="count"
+    )
+    result.add(
+        "events_fired", engine.sim.events_fired, "events", kind="count"
+    )
+    return result
+
+
+def _bench_scheduler(scale: str) -> BenchResult:
+    """Scheduler decision latency on a synthetic round-robin notify stream."""
+    from repro.core.hyperparams import SpecSyncHyperparams
+    from repro.core.scheduler import SpecSyncScheduler
+    from repro.core.tuning import FixedTuner
+
+    num_workers = 8
+    notifies = _SCHEDULER_NOTIFIES[scale]
+    clock = [0.0]
+    pending: List[tuple] = []  # (due, fn), drained as the clock advances
+    resyncs = [0]
+
+    scheduler = SpecSyncScheduler(
+        num_workers=num_workers,
+        tuner=FixedTuner(
+            SpecSyncHyperparams(abort_time_s=1.0, abort_rate=0.5)
+        ),
+        schedule_fn=lambda delay, fn: pending.append((clock[0] + delay, fn)),
+        now_fn=lambda: clock[0],
+        send_resync_fn=lambda worker, iteration: resyncs.__setitem__(
+            0, resyncs[0] + 1
+        ),
+    )
+
+    started = time.perf_counter()
+    for i in range(notifies):
+        clock[0] = i * 0.05
+        while pending and pending[0][0] <= clock[0]:
+            pending.pop(0)[1]()
+        scheduler.handle_notify(i % num_workers, i // num_workers)
+    clock[0] += 2.0
+    while pending:
+        pending.pop(0)[1]()
+    wall = time.perf_counter() - started
+
+    result = BenchResult(name="scheduler", scale=scale)
+    result.add("wall_s", wall, "s", higher_is_better=False)
+    result.add("notifies_per_s", notifies / wall, "notify/s")
+    result.add("checks_run", scheduler.checks_run, "checks", kind="count")
+    result.add(
+        "resyncs_sent", scheduler.resyncs_sent, "resyncs", kind="count"
+    )
+    return result
+
+
+def _bench_netsim(scale: str) -> BenchResult:
+    """Simulator + network fabric message throughput."""
+    from repro.events import Simulator
+    from repro.netsim.messages import Message, MessageKind
+    from repro.netsim.network import LinkModel, Network
+
+    messages = _NETSIM_MESSAGES[scale]
+    sim = Simulator()
+    network = Network(sim, link=LinkModel())
+    delivered = [0]
+
+    def on_delivery(_message: Message) -> None:
+        delivered[0] += 1
+
+    started = time.perf_counter()
+    for i in range(messages):
+        network.send(
+            Message(
+                kind=MessageKind.NOTIFY,
+                src=f"node-{i % 8}",
+                dst="servers",
+                size_bytes=1e4,
+            ),
+            on_delivery,
+        )
+    sim.run()
+    wall = time.perf_counter() - started
+
+    result = BenchResult(name="netsim", scale=scale)
+    result.add("wall_s", wall, "s", higher_is_better=False)
+    result.add("messages_per_s", messages / wall, "msg/s")
+    result.add("delivered", delivered[0], "msg", kind="count")
+    result.add("events_fired", sim.events_fired, "events", kind="count")
+    return result
+
+
+def _small_training_setup():
+    """Shared model/partitions/eval batch for the runtime benches."""
+    import numpy as np
+
+    from repro.cluster.compute import ComputeTimeModel
+    from repro.ml import SoftmaxRegressionModel, SyntheticImageDataset
+    from repro.ml.optim import ConstantSchedule, SgdUpdateRule
+
+    dataset = SyntheticImageDataset(
+        num_classes=3, feature_dim=8, num_samples=800,
+        class_separation=3.0, warp=False, seed=0,
+    )
+    return {
+        "model": SoftmaxRegressionModel(input_dim=8, num_classes=3),
+        "partitions": dataset.partition(4, np.random.default_rng(0)),
+        "eval_batch": dataset.eval_batch(),
+        "update_rule": SgdUpdateRule(ConstantSchedule(0.2)),
+        "compute_model": ComputeTimeModel(mean_time_s=3.0, jitter_sigma=0.1),
+        "batch_size": 32,
+    }
+
+
+def _bench_runtime_threaded(scale: str) -> BenchResult:
+    """End-to-end iterations/sec of the threaded wall-clock backend."""
+    from repro.core.tuning import AdaptiveTuner
+    from repro.runtime import ThreadedRun
+
+    run = ThreadedRun(
+        time_scale=0.002, tuner=AdaptiveTuner(), seed=0,
+        **_small_training_setup(),
+    )
+    outcome = run.run(_THREADED_DURATION_S[scale])
+
+    result = BenchResult(name="runtime_threaded", scale=scale)
+    result.add("wall_s", outcome.wall_time_s, "s", higher_is_better=False)
+    result.add(
+        "iterations_per_s",
+        outcome.total_iterations / outcome.wall_time_s,
+        "iter/s",
+    )
+    result.add("total_iterations", outcome.total_iterations, "iter")
+    return result
+
+
+def _bench_runtime_multiprocess(scale: str) -> BenchResult:
+    """End-to-end iterations/sec of the multi-process backend."""
+    from repro.core.tuning import AdaptiveTuner
+    from repro.runtime import MultiprocessRun
+
+    run = MultiprocessRun(
+        time_scale=0.004, tuner=AdaptiveTuner(), seed=0,
+        **_small_training_setup(),
+    )
+    outcome = run.run(_MULTIPROCESS_DURATION_S[scale])
+
+    result = BenchResult(name="runtime_multiprocess", scale=scale)
+    result.add("wall_s", outcome.wall_time_s, "s", higher_is_better=False)
+    result.add(
+        "iterations_per_s",
+        outcome.total_iterations / outcome.wall_time_s,
+        "iter/s",
+    )
+    result.add("total_iterations", outcome.total_iterations, "iter")
+    return result
+
+
+#: name -> bench function; insertion order is the default run order.
+BENCHES: Dict[str, Callable[[str], BenchResult]] = {
+    "engine": _bench_engine,
+    "scheduler": _bench_scheduler,
+    "netsim": _bench_netsim,
+    "runtime_threaded": _bench_runtime_threaded,
+    "runtime_multiprocess": _bench_runtime_multiprocess,
+}
+
+
+def run_benchmarks(
+    names: Optional[List[str]] = None, scale: str = "full"
+) -> List[BenchResult]:
+    """Run the named benchmarks (all when ``names`` is empty) at ``scale``."""
+    scale = resolve_scale(scale)
+    selected = names or list(BENCHES)
+    unknown = [name for name in selected if name not in BENCHES]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmarks {unknown}; available: {sorted(BENCHES)}"
+        )
+    return [BENCHES[name](scale) for name in selected]

@@ -1,0 +1,181 @@
+"""The regression gate: diff two ``BENCH_*.json`` files into findings.
+
+Comparison semantics:
+
+* a metric that moved in its *worse* direction (per ``higher_is_better``)
+  by more than the tolerance is a ``PERF-REGRESSION`` error;
+* tolerances are per ``kind`` — deterministic ``count`` metrics get the
+  tight ``threshold``, machine-dependent ``rate`` metrics get the
+  (typically much larger) ``rate_tolerance``;
+* a benchmark or metric present in the old file but missing from the new
+  one is a ``PERF-MISSING`` warning, as is comparing files captured at
+  different scales;
+* improvements and brand-new metrics are never findings.
+
+Findings flow through the shared :func:`repro.analysis.gate.gate_exit_code`
+so ``repro bench --compare --fail-on`` behaves exactly like ``repro lint``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.utils.tables import TextTable
+
+__all__ = ["compare_benchmarks", "render_comparison"]
+
+#: Default tolerance for deterministic ("count") metrics.
+DEFAULT_THRESHOLD = 0.10
+
+#: Default tolerance for wall-clock ("rate") metrics; generous because
+#: CI machines are noisy, but still failing a ≥ 20% + threshold collapse.
+DEFAULT_RATE_TOLERANCE = 0.15
+
+
+def _regression_fraction(old: float, new: float, higher_is_better: bool) -> float:
+    """How far ``new`` moved in the worse direction, as a fraction of old
+    (0.0 when it improved or held)."""
+    if old == 0:
+        return 0.0
+    change = (new - old) / abs(old)
+    regression = -change if higher_is_better else change
+    return max(regression, 0.0)
+
+
+def _iter_metrics(payload: dict):
+    for bench_name in sorted(payload.get("benchmarks", {})):
+        bench = payload["benchmarks"][bench_name]
+        for metric_name in sorted(bench.get("metrics", {})):
+            yield bench_name, metric_name, bench["metrics"][metric_name]
+
+
+def compare_benchmarks(
+    old_payload: dict,
+    new_payload: dict,
+    new_path: str = "BENCH.json",
+    threshold: Optional[float] = None,
+    rate_tolerance: Optional[float] = None,
+) -> List[Finding]:
+    """Diff two bench payloads; returns gate-ready findings.
+
+    ``None`` tolerances fall back to the module defaults.
+    """
+    if threshold is None:
+        threshold = DEFAULT_THRESHOLD
+    if rate_tolerance is None:
+        rate_tolerance = DEFAULT_RATE_TOLERANCE
+    findings: List[Finding] = []
+
+    old_scale = old_payload.get("scale")
+    new_scale = new_payload.get("scale")
+    if old_scale != new_scale:
+        findings.append(
+            Finding(
+                rule_id="PERF-SCALE-MISMATCH",
+                severity=Severity.WARNING,
+                path=new_path,
+                line=1,
+                message=(
+                    f"comparing scale {old_scale!r} baseline against "
+                    f"{new_scale!r} run; deltas are not meaningful"
+                ),
+            )
+        )
+
+    new_benchmarks = new_payload.get("benchmarks", {})
+    benches_reported_missing = set()
+    for bench_name, metric_name, old_metric in _iter_metrics(old_payload):
+        new_bench = new_benchmarks.get(bench_name)
+        if new_bench is None:
+            if bench_name not in benches_reported_missing:
+                benches_reported_missing.add(bench_name)
+                findings.append(
+                    Finding(
+                        rule_id="PERF-MISSING",
+                        severity=Severity.WARNING,
+                        path=new_path,
+                        line=1,
+                        message=(
+                            f"benchmark {bench_name!r} missing from new file"
+                        ),
+                    )
+                )
+            continue
+        new_metric = new_bench.get("metrics", {}).get(metric_name)
+        if new_metric is None:
+            findings.append(
+                Finding(
+                    rule_id="PERF-MISSING",
+                    severity=Severity.WARNING,
+                    path=new_path,
+                    line=1,
+                    message=(
+                        f"metric {bench_name}.{metric_name} missing from "
+                        f"new file"
+                    ),
+                )
+            )
+            continue
+        kind = old_metric.get("kind", "rate")
+        tolerance = threshold if kind == "count" else rate_tolerance
+        regression = _regression_fraction(
+            float(old_metric["value"]),
+            float(new_metric["value"]),
+            bool(old_metric.get("higher_is_better", True)),
+        )
+        if regression > tolerance:
+            findings.append(
+                Finding(
+                    rule_id="PERF-REGRESSION",
+                    severity=Severity.ERROR,
+                    path=new_path,
+                    line=1,
+                    message=(
+                        f"{bench_name}.{metric_name} regressed "
+                        f"{regression:.1%} (old={old_metric['value']:.6g} "
+                        f"{old_metric.get('unit', '')}, "
+                        f"new={new_metric['value']:.6g}; "
+                        f"{kind} tolerance {tolerance:.0%})"
+                    ),
+                )
+            )
+    return findings
+
+
+def render_comparison(old_payload: dict, new_payload: dict) -> str:
+    """Human-readable per-metric delta table (old vs new)."""
+    table = TextTable(
+        ["benchmark", "metric", "old", "new", "delta", "kind"],
+        title="bench comparison",
+    )
+    new_benchmarks = new_payload.get("benchmarks", {})
+    for bench_name, metric_name, old_metric in _iter_metrics(old_payload):
+        new_metric = (
+            new_benchmarks.get(bench_name, {})
+            .get("metrics", {})
+            .get(metric_name)
+        )
+        old_value = float(old_metric["value"])
+        if new_metric is None:
+            table.add_row(
+                [bench_name, metric_name, f"{old_value:.6g}", "-", "-",
+                 old_metric.get("kind", "rate")]
+            )
+            continue
+        new_value = float(new_metric["value"])
+        if old_value != 0:
+            delta = f"{(new_value - old_value) / abs(old_value):+.1%}"
+        else:
+            delta = "-"
+        table.add_row(
+            [
+                bench_name,
+                metric_name,
+                f"{old_value:.6g}",
+                f"{new_value:.6g}",
+                delta,
+                old_metric.get("kind", "rate"),
+            ]
+        )
+    return table.render()

@@ -1,0 +1,155 @@
+"""Benchmark result model and the schema-versioned ``BENCH_*.json`` format.
+
+One :class:`BenchResult` per benchmark, each carrying named
+:class:`BenchMetric` values.  Metrics are tagged with a ``kind``:
+
+* ``"rate"`` — wall-clock-derived (iterations/sec, wall seconds): varies
+  with the machine, compared with a generous tolerance;
+* ``"count"`` — deterministic quantities (DES iterations, resyncs):
+  compared tightly, since a drift here is a behavior change, not noise.
+
+The file layout is intentionally small and stable::
+
+    {
+      "schema_version": 1,
+      "scale": "smoke",
+      "benchmarks": {
+        "engine": {"metrics": {"iterations_per_s": {"value": ..., ...}}}
+      }
+    }
+
+``repro bench`` writes one ``BENCH_<name>.json`` per benchmark (plus an
+optional combined suite file); ``repro bench --compare`` diffs two such
+files through :mod:`repro.perfbench.compare`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchMetric",
+    "BenchResult",
+    "bench_payload",
+    "load_bench_payload",
+    "render_results",
+]
+
+#: Bumped whenever the BENCH_*.json layout changes shape.
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchMetric:
+    """One measured quantity of a benchmark."""
+
+    value: float
+    unit: str
+    #: regression direction: True when bigger is better (throughput)
+    higher_is_better: bool = True
+    #: "rate" (machine-dependent wall measurements) or "count"
+    #: (deterministic quantities) — selects the comparison tolerance
+    kind: str = "rate"
+
+    def __post_init__(self):
+        if self.kind not in ("rate", "count"):
+            raise ValueError(f"kind must be 'rate' or 'count', got {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready view."""
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+            "kind": self.kind,
+        }
+
+
+@dataclass
+class BenchResult:
+    """All metrics from one benchmark run."""
+
+    name: str
+    scale: str
+    metrics: Dict[str, BenchMetric] = field(default_factory=dict)
+
+    def add(
+        self,
+        metric_name: str,
+        value: float,
+        unit: str,
+        higher_is_better: bool = True,
+        kind: str = "rate",
+    ) -> None:
+        """Record one metric."""
+        self.metrics[metric_name] = BenchMetric(
+            value=value, unit=unit,
+            higher_is_better=higher_is_better, kind=kind,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (metrics sorted by name)."""
+        return {
+            "metrics": {
+                name: self.metrics[name].to_dict()
+                for name in sorted(self.metrics)
+            }
+        }
+
+
+def bench_payload(results: List[BenchResult], scale: str) -> dict:
+    """The schema-versioned file payload for a list of results."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "scale": scale,
+        "benchmarks": {
+            result.name: result.to_dict()
+            for result in sorted(results, key=lambda r: r.name)
+        },
+    }
+
+
+def load_bench_payload(path: str) -> dict:
+    """Read and validate a ``BENCH_*.json`` file.
+
+    Raises ``ValueError`` on files this version cannot compare (missing
+    or newer ``schema_version``, no ``benchmarks`` section).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "benchmarks" not in payload:
+        raise ValueError(f"{path}: not a bench file (missing 'benchmarks')")
+    version = payload.get("schema_version")
+    if not isinstance(version, int):
+        raise ValueError(f"{path}: missing integer 'schema_version'")
+    if version > BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version} is newer than this build's "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    return payload
+
+
+def render_results(results: List[BenchResult]) -> str:
+    """Human-readable table of all metrics across the results."""
+    table = TextTable(
+        ["benchmark", "metric", "value", "unit", "kind"], title="benchmarks"
+    )
+    for result in sorted(results, key=lambda r: r.name):
+        for metric_name in sorted(result.metrics):
+            metric = result.metrics[metric_name]
+            table.add_row(
+                [
+                    result.name,
+                    metric_name,
+                    f"{metric.value:.6g}",
+                    metric.unit,
+                    metric.kind,
+                ]
+            )
+    return table.render()

@@ -41,6 +41,8 @@ from repro.netsim.network import LinkModel, Network
 from repro.obs.clock import VirtualClock
 from repro.obs.core import tracer_for
 from repro.obs.log import VirtualTimeLoggerAdapter, get_logger
+from repro.obs.perf import profiler_for
+from repro.obs.straggler import AbortStormDetector, StragglerDetector
 from repro.obs.tracks import SERVER_TRACK, resync_flow_key, worker_track
 from repro.ps.policy import SyncPolicy, WorkerView
 from repro.ps.result import RunResult, WorkerStats
@@ -212,6 +214,14 @@ class TrainingEngine:
         # no-op tracer (the default).  Bound at construction — enable
         # observability (repro.obs.collecting) *before* building engines.
         self.tracer = tracer_for(VirtualClock(self.sim))
+        # Profiler (same enablement rules): per-phase virtual-time
+        # histograms plus the online straggler/abort-storm detectors.
+        self.profiler = profiler_for(VirtualClock(self.sim))
+        self._straggler: Optional[StragglerDetector] = None
+        self._abort_storm: Optional[AbortStormDetector] = None
+        if self.profiler.enabled:
+            self._straggler = StragglerDetector(cluster.num_workers)
+            self._abort_storm = AbortStormDetector()
         self._log = VirtualTimeLoggerAdapter(
             get_logger("engine"), lambda: self.sim.now
         )
@@ -319,6 +329,11 @@ class TrainingEngine:
             )
             self.tracer.count("engine.aborts")
             self.tracer.observe("engine.wasted_compute_s", wasted)
+        if self.profiler.enabled:
+            self.profiler.phase(
+                "engine.compute_aborted", start=worker.compute_started_at
+            )
+            self._abort_storm.record_abort(self.sim.now)
         self._log.debug(
             "worker %d aborted iteration %d (wasted %.3gs)",
             worker_id, worker.iteration, wasted,
@@ -365,6 +380,14 @@ class TrainingEngine:
         self._schedule_eval()
         self.sim.run(until=self.config.horizon_s, stop_when=lambda: self._stopped)
         self.policy.on_run_end()
+        if self.profiler.enabled:
+            self.profiler.report(
+                f"engine:{self.workload_name}:{self.policy.name}:seed{self.seed}",
+                {
+                    "straggler": self._straggler.report(),
+                    "abort_storm": self._abort_storm.report(),
+                },
+            )
         self._log.info(
             "run end: %d iterations, %d aborts, %d events fired",
             self.store.version, sum(w.aborts for w in self.workers),
@@ -435,6 +458,8 @@ class TrainingEngine:
                       "version": snapshot.version, "restart": is_restart},
             )
             self.tracer.count("engine.pulls")
+        if self.profiler.enabled:
+            self.profiler.phase("engine.pull", start=worker.pull_issued_at)
         self.traces.record_pull(
             PullEvent(
                 time=self.sim.now,
@@ -465,6 +490,8 @@ class TrainingEngine:
                 worker.track, "compute", start=worker.compute_started_at,
                 args={"iteration": worker.iteration, "aborted": False},
             )
+        if self.profiler.enabled:
+            self.profiler.phase("engine.compute", start=worker.compute_started_at)
         worker.push_started_at = self.sim.now
         _, gradient = self.model.loss_and_grad(worker.snapshot.params, worker.batch)
         push = Message(
@@ -491,6 +518,17 @@ class TrainingEngine:
             )
             self.tracer.count("engine.pushes")
             self.tracer.observe("engine.staleness", record.staleness)
+        if self.profiler.enabled:
+            # Per-worker push cadence feeds the straggler detector; the
+            # interval series is what `repro perf report` sparklines.
+            interval = self._straggler.record_push(worker.worker_id, self.sim.now)
+            self._abort_storm.record_push(self.sim.now)
+            if interval is not None:
+                self.profiler.sample(
+                    f"engine.push_interval.w{worker.worker_id:03d}",
+                    interval,
+                    ts=self.sim.now,
+                )
         self.traces.record_push(
             PushEvent(
                 time=self.sim.now,
@@ -527,6 +565,11 @@ class TrainingEngine:
                       "aborts": worker.aborts_in_iteration},
             )
             self.tracer.observe("engine.iteration_s", span)
+        if self.profiler.enabled:
+            self.profiler.phase("engine.push", start=worker.push_started_at)
+            self.profiler.phase(
+                "engine.iteration", start=worker.iteration_started_at,
+            )
         worker.pushes += 1
         worker.iteration += 1
         worker.batch = None

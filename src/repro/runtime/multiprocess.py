@@ -28,6 +28,8 @@ from repro.ml.optim import SgdUpdateRule
 from repro.obs.clock import FunctionClock
 from repro.obs.core import tracer_for
 from repro.obs.log import get_logger
+from repro.obs.perf import profiler_for
+from repro.obs.straggler import StragglerDetector
 from repro.obs.tracks import (
     RT_RUN_TRACK,
     RT_SCHEDULER_TRACK,
@@ -246,6 +248,10 @@ class MultiprocessRun:
         # the collector (no shared memory), so the parent traces what it can
         # see — the notify stream, scheduler decisions, and abort signals.
         tracer = tracer_for(FunctionClock(time.monotonic))
+        profiler = profiler_for(FunctionClock(time.monotonic))
+        # The parent sees every notify, so it can run its own straggler
+        # detector over the drained stream even without a scheduler.
+        straggler = StragglerDetector(num_workers) if profiler.enabled else None
         log = get_logger("runtime")
 
         request_queue = ctx.Queue()
@@ -306,6 +312,7 @@ class MultiprocessRun:
                 tuner=self.tuner,
                 send_resync=send_resync,
                 tracer=tracer,
+                profiler=profiler,
             )
 
         log.info(
@@ -313,7 +320,7 @@ class MultiprocessRun:
             num_workers, duration_s,
         )
         started = time.monotonic()
-        with tracer.measure(RT_RUN_TRACK, "run"):
+        with tracer.measure(RT_RUN_TRACK, "run"), profiler.measure("rt.run"):
             server.start()
             for worker in workers:
                 worker.start()
@@ -332,6 +339,14 @@ class MultiprocessRun:
                     continue
                 if tracer.enabled:
                     tracer.count("rt.notifies_drained")
+                if straggler is not None:
+                    interval = straggler.record_push(
+                        worker_id, time.monotonic()
+                    )
+                    if interval is not None:
+                        profiler.sample(
+                            f"rt.notify_interval.w{worker_id:03d}", interval
+                        )
                 if scheduler is not None:
                     scheduler.handle_notify(worker_id, iteration)
 
@@ -341,7 +356,8 @@ class MultiprocessRun:
 
             per_worker: Dict[int, int] = {}
             total_aborts = 0
-            with tracer.measure(RT_SCHEDULER_TRACK, "collect_stats"):
+            with tracer.measure(RT_SCHEDULER_TRACK, "collect_stats"), \
+                    profiler.measure("rt.collect_stats"):
                 for _ in range(num_workers):
                     worker_id, iterations, aborts = stats_queue.get(
                         timeout=10.0
@@ -375,6 +391,10 @@ class MultiprocessRun:
                     break
 
         inner = scheduler.inner if scheduler is not None else None
+        if straggler is not None:
+            profiler.report(
+                "runtime.multiprocess", {"straggler": straggler.report()}
+            )
         return MultiprocessRunResult(
             total_iterations=version,
             total_aborts=total_aborts,

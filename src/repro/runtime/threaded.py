@@ -33,6 +33,7 @@ from repro.obs.clock import FunctionClock
 from repro.obs.core import NULL_TRACER, NullTracer, Tracer
 from repro.obs.core import tracer_for
 from repro.obs.log import get_logger
+from repro.obs.perf import NULL_PROFILER, NullProfiler, Profiler, profiler_for
 from repro.obs.tracks import (
     RT_RUN_TRACK,
     RT_SCHEDULER_TRACK,
@@ -43,6 +44,7 @@ from repro.obs.tracks import (
 from repro.utils.rng import RngStreams
 
 TracerLike = Union[Tracer, NullTracer]
+ProfilerLike = Union[Profiler, NullProfiler]
 
 __all__ = [
     "ThreadedParameterServer",
@@ -138,6 +140,7 @@ class _ThreadSafeScheduler:
         tuner: HyperparamTuner,
         send_resync,
         tracer: Optional[TracerLike] = None,
+        profiler: Optional[ProfilerLike] = None,
     ):
         self._lock = threading.RLock()
         self._timers: List[threading.Timer] = []
@@ -151,6 +154,7 @@ class _ThreadSafeScheduler:
             # Wall-clock tracer + runtime track names: the identical
             # Algorithm 2 logic reports on the wall-time domain here.
             tracer=tracer,
+            profiler=profiler,
             worker_track_fn=rt_worker_track,
             self_track=RT_SCHEDULER_TRACK,
         )
@@ -226,9 +230,13 @@ class ThreadedWorker(threading.Thread):
         scheduler: Optional[_ThreadSafeScheduler] = None,
         max_aborts_per_iteration: int = 1,
         tracer: Optional[TracerLike] = None,
+        profiler: Optional[ProfilerLike] = None,
     ):
         super().__init__(name=f"worker-{worker_id}", daemon=True)
         self.tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
+        self.profiler: ProfilerLike = (
+            profiler if profiler is not None else NULL_PROFILER
+        )
         self.track = rt_worker_track(worker_id)
         self.worker_id = worker_id
         self.server = server
@@ -264,9 +272,10 @@ class ThreadedWorker(threading.Thread):
         iteration_scope = self.tracer.measure(
             self.track, "iteration", cat="iteration"
         )
-        with iteration_scope:
+        with iteration_scope, self.profiler.measure("rt.iteration"):
             batch = self.partition.sample_batch(self.batch_rng, self.batch_size)
-            with self.tracer.measure(self.track, "pull"):
+            with self.tracer.measure(self.track, "pull"), \
+                    self.profiler.measure("rt.pull"):
                 snapshot, version = self.server.pull()
             aborts_left = self.max_aborts_per_iteration
             while True:
@@ -294,7 +303,8 @@ class ThreadedWorker(threading.Thread):
                 self.abort_event.clear()
                 break
             _, gradient = self.model.loss_and_grad(snapshot, batch)
-            with self.tracer.measure(self.track, "push"):
+            with self.tracer.measure(self.track, "push"), \
+                    self.profiler.measure("rt.push"):
                 self.server.push(gradient, version)
             self.iterations += 1
             if self.scheduler is not None:
@@ -341,6 +351,7 @@ class ThreadedRun:
         # real time, so it injects the clock into the (clock-agnostic) obs
         # layer here.  The shared no-op when observability is disabled.
         self.tracer = tracer_for(FunctionClock(time.monotonic))
+        self.profiler = profiler_for(FunctionClock(time.monotonic))
         self._log = get_logger("runtime")
         self.server = ThreadedParameterServer(
             model.init_params(streams.get("init")), update_rule,
@@ -355,6 +366,7 @@ class ThreadedRun:
                 tuner=tuner,
                 send_resync=self._send_resync,
                 tracer=self.tracer,
+                profiler=self.profiler,
             )
 
         self.workers = [
@@ -372,6 +384,7 @@ class ThreadedRun:
                 scheduler=self.scheduler,
                 max_aborts_per_iteration=max_aborts_per_iteration,
                 tracer=self.tracer,
+                profiler=self.profiler,
             )
             for i, partition in enumerate(partitions)
         ]
@@ -402,7 +415,8 @@ class ThreadedRun:
             len(self.workers), duration_s,
         )
         started = time.monotonic()
-        with self.tracer.measure(RT_RUN_TRACK, "run"):
+        with self.tracer.measure(RT_RUN_TRACK, "run"), \
+                self.profiler.measure("rt.run"):
             try:
                 for worker in self.workers:
                     worker.start()
@@ -419,6 +433,10 @@ class ThreadedRun:
 
         final_params, _ = self.server.pull()
         inner = self.scheduler.inner if self.scheduler is not None else None
+        if self.profiler.enabled and inner is not None:
+            report = inner.anomaly_report()
+            if report:
+                self.profiler.report("runtime.threaded", report)
         return ThreadedRunResult(
             total_iterations=sum(w.iterations for w in self.workers),
             total_aborts=sum(w.aborts for w in self.workers),

@@ -354,6 +354,60 @@ class TestTraceCapture:
         assert main(["trace", str(tmp_path / "nope.json")]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_trace_command_accepts_empty_trace(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"traceEvents": []}', encoding="utf-8")
+        assert main(["trace", str(empty)]) == 0
+        out = capsys.readouterr().out
+        assert "trace file is empty" in out
+
+    def test_trace_command_accepts_metrics_only_trace(self, tmp_path, capsys):
+        metrics_only = tmp_path / "metrics.json"
+        metrics_only.write_text(json.dumps({
+            "traceEvents": [],
+            "metrics": {
+                "counters": {"sim.events_fired": 42},
+                "gauges": {},
+                "histograms": {},
+            },
+        }), encoding="utf-8")
+        assert main(["trace", str(metrics_only)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics-only capture" in out
+        assert "sim.events_fired" in out
+
+    def test_perf_report_renders_dashboard(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["run", "--workload", "tiny", "--workers", "3", "--seed", "3",
+             "--scheme", "adaptive", "--horizon", "30",
+             "--trace", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["perf", "report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase latency percentiles" in out
+        assert "engine.compute" in out
+        assert "anomaly detectors" in out
+
+    def test_perf_report_json_format(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["run", "--workload", "tiny", "--workers", "2", "--seed", "1",
+             "--scheme", "adaptive", "--horizon", "10",
+             "--trace", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["perf", "report", str(trace_path),
+                     "--format", "json"]) == 0
+        perf = json.loads(capsys.readouterr().out)
+        assert perf["schema_version"] == 1
+        assert "engine.iteration" in perf["phases"]
+
+    def test_perf_report_missing_file(self, tmp_path, capsys):
+        assert main(["perf", "report", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
     def test_trace_command_rejects_non_trace_json(self, tmp_path, capsys):
         bogus = tmp_path / "bogus.json"
         bogus.write_text('{"not": "a trace"}', encoding="utf-8")

@@ -46,6 +46,15 @@ MODULES = [
     "repro.netsim.ledger",
     "repro.netsim.messages",
     "repro.netsim.network",
+    "repro.obs.metrics",
+    "repro.obs.perf",
+    "repro.obs.perf_report",
+    "repro.obs.straggler",
+    "repro.obs.timeseries",
+    "repro.perfbench",
+    "repro.perfbench.benches",
+    "repro.perfbench.compare",
+    "repro.perfbench.core",
     "repro.ps.engine",
     "repro.ps.kvstore",
     "repro.ps.policy",

@@ -21,7 +21,7 @@ disabled path genuinely expensive (e.g. building args dicts without an
 import time
 
 from repro import ClusterSpec, SpecSyncPolicy
-from repro.obs import NULL_TRACER, collecting
+from repro.obs import NULL_PROFILER, NULL_TRACER, collecting
 from repro.workloads import matrix_factorization_workload
 
 #: Disabled observability may cost at most this fraction of the run.
@@ -90,3 +90,47 @@ def _timed_run() -> float:
     start = time.perf_counter()
     _run_mf()
     return time.perf_counter() - start
+
+
+def _null_profiler_call_cost_s() -> float:
+    """Per-site cost of the disabled profiler: guard check + no-op call."""
+    profiler = NULL_PROFILER
+    start = time.perf_counter()
+    for _ in range(_BENCH_CALLS):
+        if profiler.enabled:
+            raise AssertionError("null profiler must report disabled")
+        profiler.phase("engine.compute", 0.0, 1.0)
+    elapsed = time.perf_counter() - start
+    return elapsed / _BENCH_CALLS
+
+
+def test_disabled_profiler_path_overhead_is_bounded():
+    """Same analytic guard as above, for the PR's profiler sites.
+
+    Every profiler site guards on ``profiler.enabled`` before building
+    arguments, so a disabled run pays at most one null call per *enabled*
+    recording — counted here from an enabled copy of the run.
+    """
+    # 1. Profiler-site hit count from an enabled copy of the run.
+    with collecting() as collector:
+        _run_mf()
+    perf = collector.perf.snapshot()
+    site_hits = (
+        sum(phase["count"] for phase in perf["phases"].values())
+        + sum(perf["counters"].values())
+        + sum(series["count"] for series in perf["series"].values())
+        + len(perf["reports"])
+    )
+    assert site_hits > 0, "the guard run must hit profiler sites"
+
+    # 2. Wall time with observability (and thus the profiler) disabled.
+    disabled_wall = min(_timed_run() for _ in range(3))
+
+    # 3. The bound.
+    overhead_s = site_hits * _null_profiler_call_cost_s()
+    fraction = overhead_s / disabled_wall
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"disabled profiler path costs {overhead_s * 1e3:.3f} ms "
+        f"({fraction:.2%}) against a {disabled_wall * 1e3:.0f} ms run; "
+        f"budget is {MAX_OVERHEAD_FRACTION:.0%}"
+    )

@@ -1,0 +1,219 @@
+"""Continuous-benchmark pipeline: schema, compare gate, CLI exit codes.
+
+CLI runs stick to the cheap DES micro benches (scheduler, netsim) so the
+tier-1 suite stays fast; the wall-clock runtime benches are exercised by
+``benchmarks/perf_macro.py`` outside tier 1.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis.findings import Severity
+from repro.cli import main
+from repro.perfbench import (
+    BENCH_SCHEMA_VERSION,
+    BenchMetric,
+    BenchResult,
+    bench_payload,
+    compare_benchmarks,
+    load_bench_payload,
+    render_comparison,
+    render_results,
+    resolve_scale,
+    run_benchmarks,
+)
+
+
+def _payload(values: dict, scale: str = "smoke", kind: str = "rate") -> dict:
+    result = BenchResult(name="demo", scale=scale)
+    for name, value in values.items():
+        result.add(name, value, "u", kind=kind)
+    return bench_payload([result], scale)
+
+
+class TestSchema:
+    def test_metric_kind_is_validated(self):
+        with pytest.raises(ValueError):
+            BenchMetric(value=1.0, unit="u", kind="vibes")
+
+    def test_payload_shape(self):
+        payload = _payload({"throughput": 10.0})
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["scale"] == "smoke"
+        metric = payload["benchmarks"]["demo"]["metrics"]["throughput"]
+        assert metric == {
+            "value": 10.0, "unit": "u",
+            "higher_is_better": True, "kind": "rate",
+        }
+
+    def test_load_rejects_bad_files(self, tmp_path):
+        not_bench = tmp_path / "x.json"
+        not_bench.write_text('{"foo": 1}')
+        with pytest.raises(ValueError, match="benchmarks"):
+            load_bench_payload(str(not_bench))
+        future = tmp_path / "future.json"
+        future.write_text(json.dumps(
+            {"schema_version": BENCH_SCHEMA_VERSION + 1, "benchmarks": {}}
+        ))
+        with pytest.raises(ValueError, match="newer"):
+            load_bench_payload(str(future))
+
+    def test_resolve_scale(self):
+        assert resolve_scale(None) == "full"
+        assert resolve_scale("smoke") == "smoke"
+        with pytest.raises(ValueError):
+            resolve_scale("galactic")
+
+
+class TestRunBenchmarks:
+    def test_smoke_micro_benches_emit_expected_metrics(self):
+        results = run_benchmarks(["scheduler", "netsim"], scale="smoke")
+        by_name = {r.name: r for r in results}
+        assert by_name["scheduler"].metrics["checks_run"].kind == "count"
+        assert by_name["netsim"].metrics["delivered"].value == 5000
+        assert "scheduler" in render_results(results)
+
+    def test_unknown_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmarks"):
+            run_benchmarks(["nope"], scale="smoke")
+
+
+class TestCompare:
+    def test_identical_payloads_are_clean(self):
+        payload = _payload({"throughput": 100.0, "wall_s": 2.0})
+        assert compare_benchmarks(payload, copy.deepcopy(payload)) == []
+
+    def test_rate_regression_over_tolerance_is_an_error(self):
+        old = _payload({"throughput": 100.0})
+        new = _payload({"throughput": 79.0})  # -21% > 15% rate tolerance
+        findings = compare_benchmarks(old, new)
+        assert [f.rule_id for f in findings] == ["PERF-REGRESSION"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_count_metrics_use_the_tight_threshold(self):
+        old = _payload({"iters": 100.0}, kind="count")
+        drifted = _payload({"iters": 88.0}, kind="count")  # -12% > 10%
+        assert [f.rule_id for f in compare_benchmarks(old, drifted)] == [
+            "PERF-REGRESSION"
+        ]
+        # ...but the same move would pass as a rate metric (15%).
+        old_rate = _payload({"iters": 100.0})
+        drifted_rate = _payload({"iters": 88.0})
+        assert compare_benchmarks(old_rate, drifted_rate) == []
+
+    def test_improvements_are_never_findings(self):
+        old = _payload({"throughput": 100.0, "wall_s": 2.0})
+        better = _payload({"throughput": 250.0, "wall_s": 2.0})
+        better["benchmarks"]["demo"]["metrics"]["wall_s"][
+            "higher_is_better"
+        ] = False
+        old["benchmarks"]["demo"]["metrics"]["wall_s"][
+            "higher_is_better"
+        ] = False
+        better["benchmarks"]["demo"]["metrics"]["wall_s"]["value"] = 0.5
+        assert compare_benchmarks(old, better) == []
+
+    def test_lower_is_better_regression(self):
+        old = _payload({"wall_s": 1.0})
+        old["benchmarks"]["demo"]["metrics"]["wall_s"]["higher_is_better"] = False
+        slow = copy.deepcopy(old)
+        slow["benchmarks"]["demo"]["metrics"]["wall_s"]["value"] = 1.3
+        assert [f.rule_id for f in compare_benchmarks(old, slow)] == [
+            "PERF-REGRESSION"
+        ]
+
+    def test_missing_bench_and_metric_are_warnings(self):
+        old = _payload({"a": 1.0, "b": 2.0})
+        partial = _payload({"a": 1.0})
+        findings = compare_benchmarks(old, partial)
+        assert [f.rule_id for f in findings] == ["PERF-MISSING"]
+        assert findings[0].severity is Severity.WARNING
+        empty = {"schema_version": 1, "scale": "smoke", "benchmarks": {}}
+        findings = compare_benchmarks(old, empty)
+        assert [f.rule_id for f in findings] == ["PERF-MISSING"]
+
+    def test_scale_mismatch_is_a_warning(self):
+        old = _payload({"a": 1.0}, scale="full")
+        new = _payload({"a": 1.0}, scale="smoke")
+        assert [f.rule_id for f in compare_benchmarks(old, new)] == [
+            "PERF-SCALE-MISMATCH"
+        ]
+
+    def test_custom_tolerances(self):
+        old = _payload({"a": 100.0})
+        new = _payload({"a": 95.0})  # -5%
+        assert compare_benchmarks(old, new) == []
+        findings = compare_benchmarks(old, new, rate_tolerance=0.02)
+        assert [f.rule_id for f in findings] == ["PERF-REGRESSION"]
+
+    def test_render_comparison_marks_missing(self):
+        old = _payload({"a": 1.0, "gone": 2.0})
+        new = _payload({"a": 1.1})
+        text = render_comparison(old, new)
+        assert "gone" in text and "+10.0%" in text
+
+
+class TestCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_bench_run_writes_schema_versioned_files(self, tmp_path, capsys):
+        rc = main([
+            "bench", "scheduler", "netsim",
+            "--scale", "smoke", "--output-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        for name in ("scheduler", "netsim"):
+            payload = load_bench_payload(str(tmp_path / f"BENCH_{name}.json"))
+            assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+            assert payload["scale"] == "smoke"
+        assert "notifies_per_s" in capsys.readouterr().out
+
+    def test_bench_creates_missing_output_dir(self, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        rc = main(["bench", "scheduler", "--scale", "smoke",
+                   "--output-dir", str(target)])
+        assert rc == 0
+        assert (target / "BENCH_scheduler.json").exists()
+
+    def test_bench_scale_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        rc = main(["bench", "scheduler", "--output-dir", str(tmp_path)])
+        assert rc == 0
+        payload = load_bench_payload(str(tmp_path / "BENCH_scheduler.json"))
+        assert payload["scale"] == "smoke"
+
+    def test_compare_identical_exits_zero(self, tmp_path):
+        payload = _payload({"throughput": 100.0})
+        old = self._write(tmp_path, "old.json", payload)
+        new = self._write(tmp_path, "new.json", payload)
+        assert main(["bench", "--compare", old, new,
+                     "--fail-on", "warning"]) == 0
+
+    def test_compare_regression_exits_nonzero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _payload({"throughput": 100.0}))
+        new = self._write(tmp_path, "new.json", _payload({"throughput": 79.0}))
+        rc = main(["bench", "--compare", old, new, "--fail-on", "warning"])
+        assert rc != 0
+        assert "PERF-REGRESSION" in capsys.readouterr().out
+
+    def test_compare_fail_on_never_reports_but_passes(self, tmp_path):
+        old = self._write(tmp_path, "old.json", _payload({"throughput": 100.0}))
+        new = self._write(tmp_path, "new.json", _payload({"throughput": 50.0}))
+        assert main(["bench", "--compare", old, new,
+                     "--fail-on", "never"]) == 0
+
+    def test_compare_bad_file_exits_two(self, tmp_path, capsys):
+        bad = self._write(tmp_path, "bad.json", {"foo": 1})
+        ok = self._write(tmp_path, "ok.json", _payload({"a": 1.0}))
+        assert main(["bench", "--compare", bad, ok]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_bench_name_exits_two(self, tmp_path, capsys):
+        assert main(["bench", "nope",
+                     "--output-dir", str(tmp_path)]) == 2
+        assert "unknown benchmarks" in capsys.readouterr().err
