@@ -21,7 +21,7 @@ import ast
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.findings import Finding, Severity
 
@@ -156,15 +156,24 @@ class Rule(abc.ABC):
         return iter(())
 
     def finding(
-        self, module: ModuleInfo, line: int, message: str
+        self,
+        module: ModuleInfo,
+        line: int,
+        message: str,
+        flow_path: Tuple[int, ...] = (),
     ) -> Finding:
-        """Build a finding for ``module`` at ``line``."""
+        """Build a finding for ``module`` at ``line``.
+
+        Flow-sensitive rules pass ``flow_path`` — the line numbers along
+        the offending CFG or call-graph path.
+        """
         return Finding(
             rule_id=self.rule_id,
             severity=self.severity,
             path=module.path,
             line=line,
             message=message,
+            flow_path=flow_path,
         )
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
 __all__ = ["Severity", "Finding"]
 
@@ -40,6 +40,10 @@ class Finding:
     line: int
     message: str
     suppressed: bool = field(default=False, compare=False)
+    #: line numbers along the offending control/call path (flow rules);
+    #: empty for per-node rules.  ``path`` being the file path already,
+    #: this serializes as ``flow_path`` in JSON.
+    flow_path: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.rule_id:
@@ -65,6 +69,7 @@ class Finding:
             "line": self.line,
             "message": self.message,
             "suppressed": self.suppressed,
+            "flow_path": list(self.flow_path),
         }
 
     @classmethod
@@ -77,12 +82,20 @@ class Finding:
             line=int(data["line"]),
             message=data["message"],
             suppressed=bool(data.get("suppressed", False)),
+            flow_path=tuple(int(n) for n in data.get("flow_path", ())),
         )
 
     def render(self) -> str:
-        """One-line text form: ``path:line: severity [rule] message``."""
+        """One-line text form: ``path:line: severity [rule] message``.
+
+        Flow findings append the offending path compactly, e.g.
+        ``(path: L12 -> L15 -> L22)``.
+        """
         mark = " (suppressed)" if self.suppressed else ""
+        trail = ""
+        if self.flow_path:
+            trail = " (path: " + " -> ".join(f"L{n}" for n in self.flow_path) + ")"
         return (
             f"{self.location}: {self.severity.value} "
-            f"[{self.rule_id}] {self.message}{mark}"
+            f"[{self.rule_id}] {self.message}{trail}{mark}"
         )

@@ -1,0 +1,123 @@
+"""A generic worklist fixpoint solver over :class:`~repro.analysis.flow.cfg.CFG`.
+
+A :class:`DataflowProblem` supplies the lattice (``initial`` bottom,
+``join``), the per-block ``transfer`` function, the ``boundary`` value
+injected at the entry (forward) or exit/raise (backward) blocks, and the
+direction.  :func:`solve` iterates to a fixpoint and returns the
+``(in, out)`` value pair per block.
+
+One knob matters for exception precision: with ``exc_propagates_in``
+set (forward problems only), the value sent along an ``exc`` out-edge is
+the block's *pre*-state, not its post-state — a statement that raised
+never completed its effect.  This is what lets a must-release analysis
+see the path where ``x.close()`` itself raised before closing.
+
+Termination: transfer functions must be monotone and the lattice of
+reachable values finite (every rule here uses finite sets of program
+facts), the standard Kildall conditions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Generic, List, Tuple, TypeVar
+
+from repro.analysis.flow.cfg import CFG, ENTRY, EXIT, RAISE, Block
+
+__all__ = ["DataflowProblem", "solve"]
+
+T = TypeVar("T")
+
+
+class DataflowProblem(Generic[T]):
+    """Base class for dataflow problems; subclass and override."""
+
+    #: "forward" (entry → exits) or "backward" (exits → entry)
+    direction: str = "forward"
+    #: forward only: send the pre-state along ``exc`` out-edges
+    exc_propagates_in: bool = False
+
+    def boundary(self, cfg: CFG) -> T:
+        """The value at the boundary block(s)."""
+        raise NotImplementedError
+
+    def initial(self) -> T:
+        """The bottom value every other block starts at."""
+        raise NotImplementedError
+
+    def join(self, a: T, b: T) -> T:
+        """Least upper bound of two values."""
+        raise NotImplementedError
+
+    def transfer(self, block: Block, value: T) -> T:
+        """The effect of executing ``block`` on ``value``."""
+        raise NotImplementedError
+
+    def edge_value(self, block: Block, pre: T, post: T, kind: str) -> T:
+        """The value a forward problem sends out of ``block`` along ``kind``.
+
+        Default: the post-state, except the pre-state on ``exc`` edges
+        when ``exc_propagates_in`` is set.  Problems needing per-block
+        precision (e.g. "a release that raises still released") override
+        this instead of the class flag.
+        """
+        if kind == "exc" and self.exc_propagates_in:
+            return pre
+        return post
+
+
+def solve(cfg: CFG, problem: DataflowProblem[T]) -> Dict[int, Tuple[T, T]]:
+    """Fixpoint of ``problem`` over ``cfg``: ``{block_id: (in, out)}``.
+
+    For backward problems the "in" of a block is its value on the
+    downstream side (after the statement) and "out" the upstream side —
+    i.e. the pair is always (pre-transfer, post-transfer).
+    """
+    forward = problem.direction == "forward"
+    if problem.direction not in ("forward", "backward"):
+        raise ValueError(f"unknown direction {problem.direction!r}")
+
+    # Edges in propagation orientation: forward uses them as written,
+    # backward flips them.  `incoming[b]` lists (neighbor, edge kind).
+    incoming: Dict[int, List[Tuple[int, str]]] = {b: [] for b in cfg.blocks}
+    for edge in cfg.edges:
+        if forward:
+            incoming[edge.dst].append((edge.src, edge.kind))
+        else:
+            incoming[edge.src].append((edge.dst, edge.kind))
+
+    boundary_blocks = {ENTRY} if forward else {EXIT, RAISE}
+    pre: Dict[int, T] = {}
+    post: Dict[int, T] = {}
+    for bid in cfg.blocks:
+        pre[bid] = problem.boundary(cfg) if bid in boundary_blocks else problem.initial()
+        post[bid] = problem.transfer(cfg.blocks[bid], pre[bid])
+
+    worklist = deque(sorted(cfg.blocks))
+    queued = set(worklist)
+    while worklist:
+        bid = worklist.popleft()
+        queued.discard(bid)
+        value = (
+            problem.boundary(cfg) if bid in boundary_blocks else problem.initial()
+        )
+        for neighbor, kind in incoming[bid]:
+            if forward:
+                contribution = problem.edge_value(
+                    cfg.blocks[neighbor], pre[neighbor], post[neighbor], kind
+                )
+            else:
+                contribution = post[neighbor]
+            value = problem.join(value, contribution)
+        new_post = problem.transfer(cfg.blocks[bid], value)
+        if value == pre[bid] and new_post == post[bid]:
+            continue
+        pre[bid], post[bid] = value, new_post
+        # requeue everything downstream (in propagation orientation)
+        for edge in cfg.edges:
+            src, dst = (edge.src, edge.dst) if forward else (edge.dst, edge.src)
+            if src == bid and dst not in queued:
+                queued.add(dst)
+                worklist.append(dst)
+
+    return {bid: (pre[bid], post[bid]) for bid in cfg.blocks}

@@ -205,7 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser = sub.add_parser(
         "lint",
         help="run the repro-specific static-analysis suite "
-             "(determinism, protocol exhaustiveness, concurrency)",
+             "(determinism, protocol exhaustiveness, concurrency, flow)",
     )
     lint_parser.add_argument(
         "paths", nargs="*",
@@ -216,6 +216,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--show-suppressed", action="store_true",
         help="also print findings waived by # repro: allow[...] comments",
+    )
+    lint_parser.add_argument(
+        "--rule", action="append", default=None, metavar="ID",
+        help="run only this rule id (repeatable, e.g. --rule FLOW-RELEASE)",
+    )
+    lint_parser.add_argument(
+        "--pack", action="append", default=None, metavar="NAME",
+        help="run only this rule pack (repeatable: determinism, protocol, "
+             "concurrency, flow); unions with --rule",
+    )
+    lint_parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the findings (in the selected --format) to PATH",
     )
     add_fail_on_argument(lint_parser)
 
@@ -559,16 +572,27 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    from repro.analysis.rules import rules_for
+
     paths = args.paths or [os.path.dirname(os.path.abspath(repro.__file__))]
     try:
-        findings = run_lint(paths)
+        rules = rules_for(rule_ids=args.rule, packs=args.pack)
+    except ValueError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        findings = run_lint(paths, rules=rules)
     except FileNotFoundError as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
-        print(render_json(findings))
+        rendered = render_json(findings)
     else:
-        print(render_text(findings, show_suppressed=args.show_suppressed))
+        rendered = render_text(findings, show_suppressed=args.show_suppressed)
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
     return gate_exit_code(findings, args.fail_on)
 
 

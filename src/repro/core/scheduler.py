@@ -117,6 +117,11 @@ class SpecSyncScheduler:
         """A worker finished an iteration and pushed (Algorithm 2, scheduler
         ``HandleNotification``).  ``iteration`` is the index of the *next*
         iteration the worker is starting — the one a re-sync would abort.
+
+        Raises:
+            ValueError: if ``worker_id`` is outside ``[0, num_workers)`` —
+                a wiring bug in the runtime, not a recoverable condition,
+                so it must surface instead of corrupting epoch state.
         """
         if not 0 <= worker_id < self.num_workers:
             raise ValueError(f"unknown worker id {worker_id}")

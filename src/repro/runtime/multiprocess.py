@@ -322,63 +322,78 @@ class MultiprocessRun:
         started = time.monotonic()
         with tracer.measure(RT_RUN_TRACK, "run"), profiler.measure("rt.run"):
             server.start()
-            for worker in workers:
-                worker.start()
+            started_workers: List[mp.process.BaseProcess] = []
+            try:
+                for worker in workers:
+                    worker.start()
+                    started_workers.append(worker)
 
-            # Drain notify messages into the scheduler until the clock
-            # runs out.
-            deadline = started + duration_s
-            while time.monotonic() < deadline:
-                try:
-                    worker_id, iteration = notify_queue.get(
-                        timeout=min(
-                            _POLL_S, max(deadline - time.monotonic(), 1e-4)
+                # Drain notify messages into the scheduler until the clock
+                # runs out.
+                deadline = started + duration_s
+                while time.monotonic() < deadline:
+                    try:
+                        worker_id, iteration = notify_queue.get(
+                            timeout=min(
+                                _POLL_S, max(deadline - time.monotonic(), 1e-4)
+                            )
                         )
-                    )
-                except queue_module.Empty:
-                    continue
-                if tracer.enabled:
-                    tracer.count("rt.notifies_drained")
-                if straggler is not None:
-                    interval = straggler.record_push(
-                        worker_id, time.monotonic()
-                    )
-                    if interval is not None:
-                        profiler.sample(
-                            f"rt.notify_interval.w{worker_id:03d}", interval
+                    except queue_module.Empty:
+                        continue
+                    if tracer.enabled:
+                        tracer.count("rt.notifies_drained")
+                    if straggler is not None:
+                        interval = straggler.record_push(
+                            worker_id, time.monotonic()
                         )
-                if scheduler is not None:
-                    scheduler.handle_notify(worker_id, iteration)
+                        if interval is not None:
+                            profiler.sample(
+                                f"rt.notify_interval.w{worker_id:03d}", interval
+                            )
+                    if scheduler is not None:
+                        scheduler.handle_notify(worker_id, iteration)
 
-            stop_event.set()
-            for event in abort_events:
-                event.set()  # release in-flight waits
+                stop_event.set()
+                for event in abort_events:
+                    event.set()  # release in-flight waits
 
-            per_worker: Dict[int, int] = {}
-            total_aborts = 0
-            with tracer.measure(RT_SCHEDULER_TRACK, "collect_stats"), \
-                    profiler.measure("rt.collect_stats"):
-                for _ in range(num_workers):
-                    worker_id, iterations, aborts = stats_queue.get(
+                per_worker: Dict[int, int] = {}
+                total_aborts = 0
+                with tracer.measure(RT_SCHEDULER_TRACK, "collect_stats"), \
+                        profiler.measure("rt.collect_stats"):
+                    for _ in range(num_workers):
+                        worker_id, iterations, aborts = stats_queue.get(
+                            timeout=10.0
+                        )
+                        per_worker[worker_id] = iterations
+                        total_aborts += aborts
+
+                    for worker in workers:
+                        worker.join(timeout=10.0)
+
+                    # Final server snapshot, then shut the server down (the
+                    # server keeps serving after worker stop so late pushes
+                    # and this request drain).
+                    request_queue.put(("stats",))
+                    _, version, mean_staleness, final_params = stats_reply_queue.get(
                         timeout=10.0
                     )
-                    per_worker[worker_id] = iterations
-                    total_aborts += aborts
-
-                for worker in workers:
+            finally:
+                # Idempotent on the clean path (joining a finished process
+                # is a no-op).  On an exception path — a worker dying
+                # before reporting stats, a stats_queue timeout — this is
+                # what keeps the child processes from being abandoned with
+                # stop_event never set: before this block a stats timeout
+                # leaked the server and every worker still alive.
+                stop_event.set()
+                for event in abort_events:
+                    event.set()
+                for worker in started_workers:
                     worker.join(timeout=10.0)
-
-                # Final server snapshot, then shut the server down (the
-                # server keeps serving after worker stop so late pushes and
-                # this request drain).
-                request_queue.put(("stats",))
-                _, version, mean_staleness, final_params = stats_reply_queue.get(
-                    timeout=10.0
-                )
                 server_stop.set()
                 server.join(timeout=10.0)
-            if scheduler is not None:
-                scheduler.close()
+                if scheduler is not None:
+                    scheduler.close()
         wall = time.monotonic() - started
 
         wire_trace: Optional[List[Tuple[str, int]]] = None

@@ -417,16 +417,22 @@ class ThreadedRun:
         started = time.monotonic()
         with self.tracer.measure(RT_RUN_TRACK, "run"), \
                 self.profiler.measure("rt.run"):
+            # Joining only the started workers matters: if a start() in the
+            # middle of the loop raises, joining a never-started thread
+            # would itself raise and mask the original error, while the
+            # old is_alive() gate left a path that skipped a live join.
+            started_workers: List[ThreadedWorker] = []
             try:
                 for worker in self.workers:
                     worker.start()
+                    started_workers.append(worker)
                 time.sleep(duration_s)
             finally:
                 self.stop_event.set()
                 for worker in self.workers:
                     worker.abort_event.set()  # release any in-flight waits
-                    if worker.is_alive():
-                        worker.join(timeout=5.0)
+                for worker in started_workers:
+                    worker.join(timeout=5.0)
                 if self.scheduler is not None:
                     self.scheduler.close()
         wall = time.monotonic() - started

@@ -21,12 +21,13 @@ def test_repro_package_self_lints_clean():
 
 
 def test_self_lint_exercises_every_rule_pack():
-    # The gate is only meaningful if all three packs actually ran.
+    # The gate is only meaningful if all four packs actually ran.
     rule_ids = {rule.rule_id for rule in LintEngine().rules}
     assert any(r.startswith("DET-") for r in rule_ids)
     assert any(r.startswith("PROTO-") for r in rule_ids)
     assert any(r.startswith("CONC-") for r in rule_ids)
-    assert len(rule_ids) >= 13
+    assert any(r.startswith("FLOW-") for r in rule_ids)
+    assert len(rule_ids) >= 17
 
 
 def test_existing_suppressions_carry_justifications():

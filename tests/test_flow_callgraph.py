@@ -1,0 +1,181 @@
+"""Call-graph construction: name binding, methods, imports, closure."""
+
+import textwrap
+
+from repro.analysis.engine import module_from_source
+from repro.analysis.flow import build_call_graph
+
+
+def _module(source, name):
+    return module_from_source(
+        textwrap.dedent(source), module=name, path=f"{name.replace('.', '/')}.py"
+    )
+
+
+def _edges(graph, caller):
+    return [(e.callee, e.line) for e in graph.callees(caller)]
+
+
+def test_module_function_and_method_resolution():
+    mod = _module('''
+        class Base:
+            def ping(self):
+                helper()
+
+        class Worker(Base):
+            def run(self):
+                self.ping()
+                Worker.step(self)
+
+            def step(self):
+                pass
+
+        def helper():
+            w = Worker()
+            w.run()
+    ''', "demo")
+    graph = build_call_graph([mod])
+    assert _edges(graph, "demo.Worker.run") == [
+        ("demo.Base.ping", 8),   # self.m -> base-class lookup
+        ("demo.Worker.step", 9),  # ClassName.method
+    ]
+    # local instance inference: w = Worker(); w.run()
+    assert ("demo.Worker.run", 16) in _edges(graph, "demo.helper")
+    # method -> module function by bare name
+    assert _edges(graph, "demo.Base.ping") == [("demo.helper", 4)]
+
+
+def test_cross_module_resolution_via_imports():
+    util = _module('''
+        def tick():
+            pass
+
+        class Clock:
+            def now(self):
+                pass
+    ''', "pkg.util")
+    main = _module('''
+        import pkg.util
+        from pkg.util import tick, Clock
+
+        def a():
+            tick()
+
+        def b():
+            pkg.util.tick()
+
+        def c():
+            clock = Clock()
+            clock.now()
+    ''', "pkg.main")
+    graph = build_call_graph([util, main])
+    assert _edges(graph, "pkg.main.a") == [("pkg.util.tick", 6)]
+    assert _edges(graph, "pkg.main.b") == [("pkg.util.tick", 9)]
+    assert ("pkg.util.Clock.now", 13) in _edges(graph, "pkg.main.c")
+
+
+def test_external_calls_recorded_with_resolved_names():
+    mod = _module('''
+        import time as _t
+        from queue import Queue
+
+        def nap():
+            _t.sleep(0.5)
+            q = Queue()
+    ''', "demo")
+    graph = build_call_graph([mod])
+    externals = dict(graph.external["demo.nap"])
+    assert externals["time.sleep"] == 6
+    assert externals["queue.Queue"] == 7
+
+
+def test_nested_function_edges():
+    mod = _module('''
+        def outer():
+            def inner():
+                leaf()
+            inner()
+
+        def leaf():
+            pass
+    ''', "demo")
+    graph = build_call_graph([mod])
+    assert _edges(graph, "demo.outer") == [("demo.outer.inner", 5)]
+    assert _edges(graph, "demo.outer.inner") == [("demo.leaf", 4)]
+
+
+def test_reachable_from_and_call_path():
+    mod = _module('''
+        def a():
+            b()
+
+        def b():
+            c()
+
+        def c():
+            pass
+
+        def island():
+            pass
+    ''', "demo")
+    graph = build_call_graph([mod])
+    assert graph.reachable_from(["demo.a"]) == {"demo.a", "demo.b", "demo.c"}
+    chain = graph.call_path("demo.a", "demo.c")
+    assert [(e.caller, e.callee) for e in chain] == [
+        ("demo.a", "demo.b"),
+        ("demo.b", "demo.c"),
+    ]
+    assert graph.call_path("demo.a", "demo.island") is None
+    assert graph.call_path("demo.a", "demo.a") == []
+
+
+def test_recursion_does_not_loop():
+    mod = _module('''
+        def even(n):
+            return n == 0 or odd(n - 1)
+
+        def odd(n):
+            return n != 0 and even(n - 1)
+    ''', "demo")
+    graph = build_call_graph([mod])
+    assert graph.reachable_from(["demo.even"]) == {"demo.even", "demo.odd"}
+
+
+def test_resolve_callable_for_function_references():
+    mod = _module('''
+        class Obs:
+            def _on_event(self, event):
+                pass
+
+            def register(self):
+                install_tap(self._on_event)
+
+        def _tap(event):
+            pass
+    ''', "demo")
+    graph = build_call_graph([mod])
+    import ast as _ast
+
+    register = graph.functions["demo.Obs.register"]
+    (call,) = [
+        n
+        for n in _ast.walk(register.node)
+        if isinstance(n, _ast.Call)
+    ]
+    assert (
+        graph.resolve_callable("demo", call.args[0], register)
+        == "demo.Obs._on_event"
+    )
+    name_ref = _ast.parse("_tap").body[0].value
+    assert graph.resolve_callable("demo", name_ref, None) == "demo._tap"
+
+
+def test_dynamic_calls_yield_no_edges():
+    mod = _module('''
+        def f(cb, table):
+            cb()
+            table["k"]()
+            getattr(obj, "m")()
+    ''', "demo")
+    graph = build_call_graph([mod])
+    assert graph.callees("demo.f") == []

@@ -1,0 +1,196 @@
+"""The generic dataflow solver: direction, joins, and exception edges."""
+
+import ast
+import textwrap
+
+from repro.analysis.flow import DataflowProblem, build_cfg, solve
+from repro.analysis.flow.cfg import ENTRY, EXIT, RAISE
+
+
+def _cfg(src):
+    return build_cfg(ast.parse(textwrap.dedent(src)).body[0])
+
+
+class _Defined(DataflowProblem):
+    """Forward may-analysis: names assigned on some path to each block."""
+
+    direction = "forward"
+
+    def boundary(self, cfg):
+        return frozenset()
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, block, value):
+        stmt = block.stmt
+        if isinstance(stmt, ast.Assign):
+            names = {
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            }
+            return value | frozenset(names)
+        return value
+
+
+def test_forward_join_over_branches():
+    cfg = _cfg('''
+def f(c):
+    if c:
+        a = 1
+    else:
+        b = 2
+    tail()
+''')
+    solution = solve(cfg, _Defined())
+    # At EXIT, both branch assignments may have happened ...
+    assert solution[EXIT][0] == frozenset({"a", "b"})
+    # ... but inside the true branch only `a` is defined.
+    (a_block,) = [
+        bid for bid, b in cfg.blocks.items()
+        if isinstance(b.stmt, ast.Assign) and b.line == 4
+    ]
+    assert solution[a_block][1] == frozenset({"a"})
+
+
+def test_forward_fixpoint_through_loop():
+    cfg = _cfg('''
+def f(n):
+    total = 0
+    while n:
+        bump = step(n)
+        n = bump
+    return total
+''')
+    solution = solve(cfg, _Defined())
+    # Values assigned in the loop body must flow around the back edge to
+    # the loop head (requires iterating to a fixpoint, not one pass).
+    head = [bid for bid, b in cfg.blocks.items() if b.label == "while"][0]
+    assert solution[head][0] >= frozenset({"total", "bump", "n"})
+
+
+class _MayRaisePoint(DataflowProblem):
+    """Tracks whether an 'armed' flag survives to the raise block."""
+
+    direction = "forward"
+    exc_propagates_in = True
+
+    def boundary(self, cfg):
+        return frozenset()
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, block, value):
+        stmt = block.stmt
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            name = getattr(stmt.value.func, "id", None)
+            if name == "arm":
+                return value | {"armed"}
+            if name == "disarm":
+                return value - {"armed"}
+        return value
+
+
+def test_exc_propagates_in_sends_pre_state():
+    # arm() raising means the arming never happened: with
+    # exc_propagates_in the RAISE block must NOT see "armed" from the
+    # arm() statement's own exception edge.
+    cfg = _cfg('''
+def f():
+    arm()
+''')
+    solution = solve(cfg, _MayRaisePoint())
+    assert solution[RAISE][0] == frozenset()
+    assert solution[EXIT][0] == frozenset({"armed"})
+
+
+def test_exc_edge_between_statements_carries_held_state():
+    # work() raising between arm() and disarm() leaks the armed state to
+    # RAISE — the precision FLOW-RELEASE is built on.
+    cfg = _cfg('''
+def f():
+    arm()
+    work()
+    disarm()
+''')
+    solution = solve(cfg, _MayRaisePoint())
+    assert "armed" in solution[RAISE][0]
+    assert solution[EXIT][0] == frozenset()
+
+
+class _Live(DataflowProblem):
+    """Backward liveness of plain names (loads after the block)."""
+
+    direction = "backward"
+
+    def boundary(self, cfg):
+        return frozenset()
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, block, value):
+        stmt = block.stmt
+        if stmt is None:
+            return value
+        kill = set()
+        gen = set()
+        if isinstance(stmt, ast.Assign):
+            kill = {t.id for t in stmt.targets if isinstance(t, ast.Name)}
+            gen = {
+                n.id
+                for n in ast.walk(stmt.value)
+                if isinstance(n, ast.Name)
+            }
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            gen = {
+                n.id
+                for n in ast.walk(stmt.value)
+                if isinstance(n, ast.Name)
+            }
+        return (value - kill) | gen
+
+
+def test_backward_liveness():
+    cfg = _cfg('''
+def f():
+    a = source()
+    b = a
+    return b
+''')
+    solution = solve(cfg, _Live())
+    # Nothing the function defines is live before it runs (the callee
+    # name `source` is a free variable, so it legitimately is).
+    assert solution[ENTRY][0] == frozenset({"source"})
+    (b_assign,) = [
+        bid for bid, b in cfg.blocks.items()
+        if isinstance(b.stmt, ast.Assign) and b.line == 4
+    ]
+    # `a` is live entering `b = a` (backward "post" side), `b` after it.
+    assert "b" in solution[b_assign][0]
+    assert "a" in solution[b_assign][1]
+
+
+def test_unknown_direction_rejected():
+    class Bad(_Defined):
+        direction = "sideways"
+
+    cfg = _cfg('''
+def f():
+    pass
+''')
+    try:
+        solve(cfg, Bad())
+    except ValueError as exc:
+        assert "sideways" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")
