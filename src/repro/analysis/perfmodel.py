@@ -1,0 +1,528 @@
+"""Cost/hotness layer for the profile-guided perf rule pack.
+
+The PERF-* rules (:mod:`repro.analysis.rules.perf`) are heuristic: an
+allocation inside a loop is only worth fixing when the loop actually
+runs on the hot path.  This module supplies the two facts the rules
+need:
+
+* **loop structure** — :func:`natural_loops` recovers loops from the
+  back-edges of a :class:`repro.analysis.flow.cfg.CFG`, so ``while``
+  loops with ``continue``/``break`` and nested loops are modelled the
+  way control actually flows, not by syntactic nesting alone;
+* **measured hotness** — :class:`HotnessModel` ingests the
+  ``sim.dispatch.<qualname>`` counters that the profiler's simulator tap
+  records (trace format v2, top-level ``"perf"`` section — see
+  :mod:`repro.obs.perf`), matches them against the lint batch's call
+  graph, and closes over :meth:`CallGraph.reachable_from` so a function
+  called *from* a hot dispatch root is hot too.
+
+``repro lint --pack perf --profile TRACE.json`` loads the model with
+:func:`load_hot_profile`; findings in measured-hot functions escalate
+from info to warning, which is what the shared ``--fail-on warning``
+gate keys on.  A malformed or missing profile raises
+:class:`ProfileError` — the CLI turns that into a clear message and
+exit code 2 rather than silently linting without hotness data.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutil import dotted_name, import_aliases, resolve_name
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.flow.callgraph import CallGraph, FunctionInfo
+from repro.analysis.flow.cfg import CFG
+
+__all__ = [
+    "HOT_COUNTER_PREFIX",
+    "Loop",
+    "LoopIndex",
+    "ProfileError",
+    "HotnessModel",
+    "hot_call_edges",
+    "load_hot_profile",
+    "natural_loops",
+    "loop_index",
+]
+
+#: The profiler's per-callback dispatch counters (``repro.obs.perf``
+#: taps the simulator bus and counts ``sim.dispatch.<__qualname__>``).
+HOT_COUNTER_PREFIX = "sim.dispatch."
+
+#: The functions that *fire* those counters.  ``sim.dispatch.*`` is
+#: recorded by a tap on :class:`repro.events.simulator.Simulator`, so by
+#: the trace-format contract the simulator's event loop runs once per
+#: counted dispatch — it is hot whenever any dispatch counter is, even
+#: though no counter names it and the callback invocation is dynamic.
+DISPATCH_LOOP_TAILS = ("Simulator.step", "Simulator.run")
+
+
+class ProfileError(Exception):
+    """A ``--profile`` file that cannot be used as hot-path data."""
+
+
+# ----------------------------------------------------------------------
+# Loop structure from CFG back-edges
+# ----------------------------------------------------------------------
+@dataclass
+class Loop:
+    """One natural loop of a function's CFG.
+
+    ``lines`` covers every source line whose statement sits inside the
+    loop body (including the header's test, re-evaluated per iteration);
+    ``depth`` is 1 for an outermost loop, 2 for a loop nested in one
+    other loop, and so on.
+    """
+
+    header_line: int
+    blocks: Set[int] = field(default_factory=set)
+    lines: Set[int] = field(default_factory=set)
+    depth: int = 1
+
+
+def natural_loops(cfg: CFG) -> List[Loop]:
+    """The natural loops of ``cfg``, recovered from its back-edges.
+
+    For each back edge *tail → header*, the loop body is the header
+    plus every block that reaches the tail without passing through the
+    header (the textbook construction).  The CFG builder only tags
+    ``continue`` edges with kind ``back``; the ordinary body-end →
+    loop-head edge keeps the body's own dangling kind (``next``,
+    ``false`` for a nested loop's exhaust, ...).  Block ids are
+    allocated in program order and the only edges into a ``for`` /
+    ``while`` head from a later block are loop-closing ones, so any
+    retreating edge into a loop-head block is a back edge too.
+    Multiple back edges to one header (``continue`` plus the body's
+    end) merge into one loop.
+    """
+    loop_heads = {
+        block_id
+        for block_id, block in cfg.blocks.items()
+        if block.label in ("for", "while")
+    }
+    preds: Dict[int, List[int]] = {}
+    for edge in cfg.edges:
+        preds.setdefault(edge.dst, []).append(edge.src)
+
+    bodies: Dict[int, Set[int]] = {}
+    for edge in cfg.edges:
+        retreating = edge.dst in loop_heads and edge.dst < edge.src
+        if edge.kind != "back" and not retreating:
+            continue
+        header, tail = edge.dst, edge.src
+        body = bodies.setdefault(header, {header})
+        stack = [tail]
+        while stack:
+            block = stack.pop()
+            if block in body:
+                continue
+            body.add(block)
+            stack.extend(preds.get(block, ()))
+
+    loops: List[Loop] = []
+    for header, blocks in sorted(bodies.items()):
+        loop = Loop(header_line=cfg.blocks[header].line, blocks=set(blocks))
+        for block_id in blocks:
+            block = cfg.blocks[block_id]
+            if block.synthetic:
+                continue
+            if block.stmt is not None:
+                end = getattr(block.stmt, "end_lineno", None) or block.line
+                loop.lines.update(range(block.stmt.lineno, end + 1))
+            elif block.line:
+                loop.lines.add(block.line)
+        loops.append(loop)
+
+    for loop in loops:
+        loop.depth = 1 + sum(
+            1 for other in loops if other is not loop and loop.blocks < other.blocks
+        )
+    return loops
+
+
+class LoopIndex:
+    """Line → loop lookups over one function's loops."""
+
+    def __init__(self, loops: List[Loop]):
+        self.loops = loops
+
+    def innermost(self, line: int) -> Optional[Loop]:
+        """The smallest loop whose body contains ``line``, if any."""
+        best: Optional[Loop] = None
+        for loop in self.loops:
+            if line in loop.lines and (
+                best is None or len(loop.lines) < len(best.lines)
+            ):
+                best = loop
+        return best
+
+    def depth(self, line: int) -> int:
+        """Loop-nesting depth of ``line`` (0 = not inside any loop)."""
+        loop = self.innermost(line)
+        return loop.depth if loop is not None else 0
+
+
+def loop_index(cfg: CFG) -> LoopIndex:
+    """Convenience: :class:`LoopIndex` over :func:`natural_loops`."""
+    return LoopIndex(natural_loops(cfg))
+
+
+# ----------------------------------------------------------------------
+# Hotness-only call edges
+# ----------------------------------------------------------------------
+class _HotScope:
+    """Module-level name resolution rebuilt for the hotness overlay."""
+
+    def __init__(self, info: ModuleInfo):
+        self.aliases = import_aliases(info.tree)
+        self.classes: Dict[str, str] = {}
+        self.funcs: Dict[str, str] = {}
+        for child in info.tree.body:
+            if isinstance(child, ast.ClassDef):
+                self.classes[child.name] = f"{info.module}.{child.name}"
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.funcs[child.name] = f"{info.module}.{child.name}"
+
+    def resolve_class(
+        self, dotted: str, known: Mapping[str, List[str]]
+    ) -> Optional[str]:
+        if "." not in dotted and dotted in self.classes:
+            qualname = self.classes[dotted]
+            return qualname if qualname in known else None
+        full = resolve_name(dotted, self.aliases)
+        return full if full in known else None
+
+
+def _class_from_annotation(
+    ann: ast.expr, scope: _HotScope, known: Mapping[str, List[str]]
+) -> Optional[str]:
+    """Batch class named by an annotation, unwrapping Optional[...]."""
+    if isinstance(ann, ast.Subscript):
+        base = dotted_name(ann.value)
+        if base is not None and base.rsplit(".", 1)[-1] == "Optional":
+            return _class_from_annotation(ann.slice, scope, known)
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            parsed = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return None
+        return _class_from_annotation(parsed, scope, known)
+    dotted = dotted_name(ann)
+    if dotted is None:
+        return None
+    return scope.resolve_class(dotted, known)
+
+
+def _transitive_subclasses(
+    known: Mapping[str, List[str]]
+) -> Dict[str, Set[str]]:
+    direct: Dict[str, Set[str]] = {}
+    for cls, bases in known.items():
+        for base in bases:
+            if base in known:
+                direct.setdefault(base, set()).add(cls)
+    closed: Dict[str, Set[str]] = {}
+    for cls in known:
+        seen: Set[str] = set()
+        queue = deque(direct.get(cls, ()))
+        while queue:
+            sub = queue.popleft()
+            if sub in seen:
+                continue
+            seen.add(sub)
+            queue.extend(direct.get(sub, ()))
+        if seen:
+            closed[cls] = seen
+    return closed
+
+
+def hot_call_edges(
+    graph: CallGraph, modules: Sequence[ModuleInfo]
+) -> Dict[str, Set[str]]:
+    """Supplementary call edges used only for hotness propagation.
+
+    The flow rules keep :class:`CallGraph` a strict under-approximation
+    (a spurious edge there turns into a spurious FLOW warning).  Hotness
+    wants the opposite bias — a function that *might* run under a hot
+    dispatch root should rank as hot — so this overlay adds the edges
+    the precise graph deliberately omits:
+
+    * calls inside **lambda bodies** (the scheduler wraps work in
+      ``lambda: self._check_resync(...)`` callbacks, which is exactly
+      how dispatch-counter roots fan out);
+    * ``self.attr.m()`` and ``param.m()`` calls resolved through
+      **inferred types**: ``self.x = ClassName(...)`` constructor
+      assignments, ``self.x = param`` / ``self.x: T`` with an annotated
+      batch class, and annotated function parameters;
+    * **subclass overrides** of every resolved method, since dynamic
+      dispatch may land on any of them at run time.
+
+    Returned as caller qualname → extra callee qualnames; feed it to
+    :meth:`HotnessModel.reasons_for` alongside the precise graph.
+    """
+    known = graph.known_classes()
+    subclasses = _transitive_subclasses(known)
+    scopes: Dict[str, _HotScope] = {}
+    for info in modules:
+        scopes.setdefault(info.module, _HotScope(info))
+
+    def method_targets(class_qualname: str, name: str) -> Set[str]:
+        targets: Set[str] = set()
+        base = graph.lookup_method(class_qualname, name)
+        if base is not None:
+            targets.add(base)
+        for sub in subclasses.get(class_qualname, ()):
+            override = graph.lookup_method(sub, name)
+            if override is not None:
+                targets.add(override)
+        return targets
+
+    def param_types(fi: FunctionInfo, scope: _HotScope) -> Dict[str, str]:
+        types: Dict[str, str] = {}
+        args = fi.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is None:
+                continue
+            cls = _class_from_annotation(arg.annotation, scope, known)
+            if cls is not None:
+                types[arg.arg] = cls
+        return types
+
+    # Pass 1: (class, attribute) -> inferred batch class, from every
+    # method body (constructor calls, annotated parameters, AnnAssign).
+    attr_types: Dict[Tuple[str, str], str] = {}
+    for fi in graph.functions.values():
+        if fi.class_qualname is None:
+            continue
+        scope = scopes.get(fi.module)
+        if scope is None:
+            continue
+        params = param_types(fi, scope)
+        for node in ast.walk(fi.node):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            inferred: Optional[str] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                inferred = _class_from_annotation(
+                    node.annotation, scope, known
+                )
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in ("self", "cls")
+            ):
+                continue
+            if inferred is None and value is not None:
+                if isinstance(value, ast.Call):
+                    dotted = dotted_name(value.func)
+                    if dotted is not None:
+                        inferred = scope.resolve_class(dotted, known)
+                elif isinstance(value, ast.Name):
+                    inferred = params.get(value.id)
+            if inferred is not None:
+                attr_types.setdefault(
+                    (fi.class_qualname, target.attr), inferred
+                )
+
+    # Pass 2: resolve every call (lambda bodies included) through the
+    # inferred types and subclass overrides.
+    extra: Dict[str, Set[str]] = {}
+    for fi in graph.functions.values():
+        scope = scopes.get(fi.module)
+        if scope is None:
+            continue
+        params = param_types(fi, scope)
+        targets: Set[str] = set()
+        for node in ast.walk(fi.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                qualname = scope.funcs.get(func.id)
+                if qualname is None:
+                    full = resolve_name(func.id, scope.aliases)
+                    if full in graph.functions:
+                        qualname = full
+                    elif full in known:
+                        targets |= method_targets(full, "__init__")
+                if qualname is not None and qualname in graph.functions:
+                    targets.add(qualname)
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = func.value
+            if isinstance(receiver, ast.Name):
+                if receiver.id in ("self", "cls") and fi.class_qualname:
+                    targets |= method_targets(fi.class_qualname, func.attr)
+                else:
+                    cls = params.get(receiver.id) or fi.local_types.get(
+                        receiver.id
+                    )
+                    if cls is not None:
+                        targets |= method_targets(cls, func.attr)
+            elif (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id in ("self", "cls")
+                and fi.class_qualname is not None
+            ):
+                cls = attr_types.get((fi.class_qualname, receiver.attr))
+                if cls is not None:
+                    targets |= method_targets(cls, func.attr)
+        targets.discard(fi.qualname)
+        if targets:
+            extra[fi.qualname] = targets
+    return extra
+
+
+def _normalize_tail(tail: str) -> str:
+    """Counter tail → matchable qualname: drop ``<locals>`` segments and
+    trailing ``<lambda>`` so a lambda callback attributes to the function
+    that created it (``A.notify.<locals>.<lambda>`` → ``A.notify``)."""
+    parts = [part for part in tail.split(".") if part != "<locals>"]
+    while parts and parts[-1] == "<lambda>":
+        parts.pop()
+    return ".".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Measured hotness
+# ----------------------------------------------------------------------
+class HotnessModel:
+    """Which functions measured data proves hot, and why.
+
+    ``dispatch_counts`` maps a callback ``__qualname__`` tail (e.g.
+    ``TrainingEngine._on_compute_done``) to its fired-event count.  The
+    model is *bound* to a lint batch lazily: counter tails match call
+    graph qualnames by dotted suffix (the counter has no module prefix),
+    and everything reachable from a matched root inherits its hotness,
+    attributed to the hottest root that reaches it.
+    """
+
+    def __init__(self, dispatch_counts: Mapping[str, float]):
+        self.dispatch_counts: Dict[str, float] = dict(dispatch_counts)
+        self._bound_graph_id: Optional[int] = None
+        self._reasons: Dict[str, str] = {}
+
+    def reasons_for(
+        self,
+        graph: CallGraph,
+        extra_edges: Optional[Mapping[str, Set[str]]] = None,
+    ) -> Dict[str, str]:
+        """qualname → human-readable hotness reason over ``graph``.
+
+        ``extra_edges`` is the :func:`hot_call_edges` overlay; the
+        closure follows both the precise edges and the overlay, so a
+        tuning routine called through ``self.tuner.retune(...)`` from a
+        hot scheduler callback still ranks hot.
+        """
+        if self._bound_graph_id == id(graph):
+            return self._reasons
+        roots: List[Tuple[float, str, str]] = []
+        tails: Dict[str, float] = dict(self.dispatch_counts)
+        total = sum(tails.values())
+        if total > 0:
+            # The event loop itself runs once per counted dispatch (the
+            # counters are fired by the Simulator tap) — credit it with
+            # the total so the dispatch machinery ranks hottest.
+            for loop_tail in DISPATCH_LOOP_TAILS:
+                tails.setdefault(loop_tail, total)
+        for tail, count in tails.items():
+            suffix = "." + _normalize_tail(tail)
+            for qualname in graph.functions:
+                if qualname.endswith(suffix) or qualname == suffix[1:]:
+                    roots.append((count, tail, qualname))
+        overlay: Mapping[str, Set[str]] = extra_edges or {}
+        reasons: Dict[str, str] = {}
+        for count, tail, qualname in sorted(roots, key=lambda r: (-r[0], r[1], r[2])):
+            if tail in DISPATCH_LOOP_TAILS and tail not in self.dispatch_counts:
+                root_reason = f"dispatch loop, {int(count)} events dispatched"
+            else:
+                root_reason = f"{int(count)} dispatches of {tail}"
+            for reached in sorted(self._closure(graph, qualname, overlay)):
+                if reached in reasons:
+                    continue
+                if reached == qualname:
+                    reasons[reached] = root_reason
+                else:
+                    reasons[reached] = f"reachable from {tail} ({int(count)} dispatches)"
+        self._bound_graph_id = id(graph)
+        self._reasons = reasons
+        return reasons
+
+    @staticmethod
+    def _closure(
+        graph: CallGraph, root: str, overlay: Mapping[str, Set[str]]
+    ) -> Set[str]:
+        """Functions reachable from ``root`` over graph + overlay edges."""
+        seen: Set[str] = {root}
+        queue = deque([root])
+        while queue:
+            current = queue.popleft()
+            callees = [edge.callee for edge in graph.edges.get(current, [])]
+            callees.extend(overlay.get(current, ()))
+            for callee in callees:
+                if callee not in seen and callee in graph.functions:
+                    seen.add(callee)
+                    queue.append(callee)
+        return seen
+
+    def hot_reason(
+        self,
+        graph: CallGraph,
+        qualname: str,
+        extra_edges: Optional[Mapping[str, Set[str]]] = None,
+    ) -> Optional[str]:
+        """Why ``qualname`` is hot under ``graph``, or None if it is not."""
+        return self.reasons_for(graph, extra_edges).get(qualname)
+
+
+def load_hot_profile(path: str) -> HotnessModel:
+    """Build a :class:`HotnessModel` from a ``--trace`` capture.
+
+    Accepts either a full trace file whose top-level ``"perf"`` key holds
+    a profiler snapshot (trace format v2, what ``repro run --trace``
+    writes) or a bare snapshot with its own ``"counters"`` mapping.
+    Anything else — unreadable file, invalid JSON, no perf counters —
+    raises :class:`ProfileError` with a message naming the file.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ProfileError(f"cannot read profile {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ProfileError(f"profile {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProfileError(
+            f"profile {path!r} must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    perf = payload.get("perf") if "perf" in payload else payload
+    counters = perf.get("counters") if isinstance(perf, dict) else None
+    if not isinstance(counters, dict):
+        raise ProfileError(
+            f"profile {path!r} carries no perf counters — expected a "
+            "--trace capture with a trace-format-v2 'perf' section "
+            "(repro run --trace) or a bare profiler snapshot"
+        )
+    counts: Dict[str, float] = {}
+    for name, value in counters.items():
+        if not isinstance(name, str) or isinstance(value, bool) or not isinstance(
+            value, (int, float)
+        ):
+            raise ProfileError(
+                f"profile {path!r}: counter {name!r} -> {value!r} is not "
+                "a name -> number pair"
+            )
+        if name.startswith(HOT_COUNTER_PREFIX) and value > 0:
+            counts[name[len(HOT_COUNTER_PREFIX):]] = float(value)
+    return HotnessModel(counts)

@@ -1,6 +1,6 @@
 """Rule packs and the default registry.
 
-Four packs, one per failure class the reproduction cannot afford:
+Five packs, one per failure class the reproduction cannot afford:
 
 * :mod:`repro.analysis.rules.determinism` — stray wall clocks, global
   RNG, unordered-set iteration, mutable defaults, lying annotations;
@@ -12,7 +12,12 @@ Four packs, one per failure class the reproduction cannot afford:
 * :mod:`repro.analysis.rules.flow` — flow-sensitive: resources released
   on every CFG path, no blocking calls reachable from async/tap code,
   no undeclared exceptions escaping the re-sync path, no dead branches
-  or dispatch arms (built on :mod:`repro.analysis.flow`).
+  or dispatch arms (built on :mod:`repro.analysis.flow`);
+* :mod:`repro.analysis.rules.perf` — profile-guided performance rules
+  (allocation/copies/lookups on the measured hot path).  **Opt-in**:
+  perf findings are advisory (info severity) until a ``--profile``
+  capture proves them hot, so the pack runs via ``--pack perf`` rather
+  than in the default gate.
 
 To add a rule: subclass :class:`repro.analysis.engine.Rule`, give it a
 unique ``rule_id``, implement ``check_module`` (per-file) or
@@ -44,6 +49,14 @@ from repro.analysis.rules.flow import (
     ExceptionEscapeRule,
     ReleaseOnAllPathsRule,
 )
+from repro.analysis.rules.perf import (
+    AllocHotRule,
+    AttrLoopRule,
+    LogHotRule,
+    NumpyCopyRule,
+    PicklePayloadRule,
+    ScanRule,
+)
 from repro.analysis.rules.protocol import (
     MessageCategoryRule,
     MessageSizeRule,
@@ -55,7 +68,9 @@ from repro.analysis.rules.protocol import (
 __all__ = [
     "default_rules",
     "rules_for",
+    "ALL_RULE_CLASSES",
     "DEFAULT_RULE_CLASSES",
+    "OPT_IN_PACKS",
     "RULE_PACKS",
 ]
 
@@ -87,9 +102,30 @@ RULE_PACKS: Dict[str, Tuple[Type[Rule], ...]] = {
         ExceptionEscapeRule,
         DeadPathRule,
     ),
+    "perf": (
+        AllocHotRule,
+        NumpyCopyRule,
+        PicklePayloadRule,
+        AttrLoopRule,
+        LogHotRule,
+        ScanRule,
+    ),
 }
 
+#: Packs that only run when explicitly selected.  The perf rules are
+#: advisory heuristics ranked by measured hot-path data; folding them
+#: into the default (self-lint) gate would fail CI on cold-path noise.
+OPT_IN_PACKS: Tuple[str, ...] = ("perf",)
+
 DEFAULT_RULE_CLASSES: Tuple[Type[Rule], ...] = tuple(
+    cls
+    for name, pack in RULE_PACKS.items()
+    if name not in OPT_IN_PACKS
+    for cls in pack
+)
+
+#: Every registered rule class, opt-in packs included (``--rule`` ids).
+ALL_RULE_CLASSES: Tuple[Type[Rule], ...] = tuple(
     cls for pack in RULE_PACKS.values() for cls in pack
 )
 
@@ -121,7 +157,7 @@ def rules_for(
             f"unknown pack(s) {sorted(unknown_packs)}; "
             f"choose from {sorted(RULE_PACKS)}"
         )
-    all_ids = {cls.rule_id for cls in DEFAULT_RULE_CLASSES}
+    all_ids = {cls.rule_id for cls in ALL_RULE_CLASSES}
     unknown_ids = wanted_ids - all_ids
     if unknown_ids:
         raise ValueError(

@@ -1,0 +1,636 @@
+"""Profile-guided performance rules (``PERF-*``).
+
+Six heuristic rules over the allocation/copy/lookup patterns that
+dominate this codebase's hot paths (ROADMAP: "make the hot paths
+actually fast").  Heuristics over-approximate by design, so every rule
+reports at **info** severity — advisory, visible, but below the default
+``--fail-on warning`` gate.  Supplying measured hot-path data
+(``repro lint --pack perf --profile TRACE.json``) escalates findings
+whose enclosing function is transitively reachable from a
+``sim.dispatch.*`` hot root to **warning**: CI blocks only on findings
+that provably sit on the measured hot path.  The one exception is
+``PERF-PICKLE-PAYLOAD``, which starts at warning — an ndarray pickled
+through a process boundary is a wire-path cost whether or not a DES
+profile saw it.
+
+Loop structure comes from the CFG's back-edges
+(:func:`repro.analysis.perfmodel.natural_loops`), not from syntactic
+nesting, and hot-root reachability from the interprocedural call graph
+(:mod:`repro.analysis.flow.callgraph`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutil import (
+    dotted_name,
+    import_aliases,
+    resolve_call_name,
+    walk_functions,
+    walk_own_scope,
+)
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.flow.callgraph import CallGraph, build_call_graph
+from repro.analysis.flow.cfg import FunctionNode, build_cfg
+from repro.analysis.perfmodel import (
+    HotnessModel,
+    Loop,
+    LoopIndex,
+    hot_call_edges,
+    natural_loops,
+)
+
+__all__ = [
+    "PerfRule",
+    "AllocHotRule",
+    "NumpyCopyRule",
+    "PicklePayloadRule",
+    "AttrLoopRule",
+    "LogHotRule",
+    "ScanRule",
+]
+
+#: Names that very likely bind ndarrays on the wire paths this repo has
+#: (gradients, parameter sets, weight matrices).
+_ARRAYISH_RE = re.compile(
+    r"(^|_)(grad|gradient|param|params|weights?|tensor|array|snapshot|vec)s?($|_)",
+    re.IGNORECASE,
+)
+
+#: Index-variable names that signal fancy (gather) indexing rather than a
+#: plain dict/list element lookup.
+_INDEXISH_RE = re.compile(r"(^|_)(ids?|idx|indices|index|rows?|cols?|mask)($|_)")
+
+_LOG_METHODS = (
+    "debug", "info", "warning", "warn", "error", "exception", "critical", "log",
+)
+
+_BUILTIN_CONTAINERS = ("list", "dict", "set", "tuple")
+
+
+class _ProjectIndex:
+    """Shared per-batch facts: call graph, qualnames, loops per function."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.graph: CallGraph = build_call_graph(modules)
+        #: hotness-only edge overlay (lambda bodies, inferred attribute
+        #: types, subclass overrides) — see perfmodel.hot_call_edges.
+        self.hot_edges: Dict[str, Set[str]] = hot_call_edges(self.graph, modules)
+        #: keyed by (module, name, lineno), not node identity: the batch
+        #: cache can outlive one parse of the same sources, and a re-parse
+        #: produces equal functions at new node ids.
+        self.qualnames: Dict[Tuple[str, str, int], str] = {
+            (info.module, info.node.name, info.line): info.qualname
+            for info in self.graph.functions.values()
+        }
+        self._loops: Dict[int, LoopIndex] = {}
+
+    def loop_index(self, fn: FunctionNode) -> LoopIndex:
+        cached = self._loops.get(id(fn))
+        if cached is None:
+            cached = LoopIndex(natural_loops(build_cfg(fn)))
+            self._loops[id(fn)] = cached
+        return cached
+
+
+#: One-slot cache: the engine hands every rule the same batch object, so
+#: the six perf rules share one call graph and one CFG per function.
+_INDEX_CACHE: List[Tuple[Tuple[Tuple[str, int], ...], _ProjectIndex]] = []
+
+
+def _project_index(modules: Sequence[ModuleInfo]) -> _ProjectIndex:
+    key = tuple((m.path, hash(m.source)) for m in modules)
+    if _INDEX_CACHE and _INDEX_CACHE[0][0] == key:
+        return _INDEX_CACHE[0][1]
+    index = _ProjectIndex(modules)
+    _INDEX_CACHE.clear()
+    _INDEX_CACHE.append((key, index))
+    return index
+
+
+def _comprehension_nodes(fn: FunctionNode) -> Set[int]:
+    """ids of AST nodes evaluated once per comprehension iteration."""
+    inside: Set[int] = set()
+    for node in walk_own_scope(fn):
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for sub in ast.walk(node):
+                if sub is not node:
+                    inside.add(id(sub))
+    return inside
+
+
+def _call_receiver_name(call: ast.Call) -> Optional[str]:
+    """Dotted name of a method call's receiver, seeing through one
+    subscript (``queues[i].put`` → ``queues``)."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    receiver = call.func.value
+    if isinstance(receiver, ast.Subscript):
+        receiver = receiver.value
+    return dotted_name(receiver)
+
+
+class PerfRule(Rule):
+    """Base for the perf pack: info severity, profile-driven escalation.
+
+    The CLI assigns :attr:`hotness` when ``--profile`` is given
+    (``uses_profile`` marks the rules that accept it); findings inside a
+    measured-hot function then escalate to warning with the hotness
+    reason appended to the message.
+    """
+
+    severity = Severity.INFO
+    uses_profile = True
+
+    def __init__(self) -> None:
+        self.hotness: Optional[HotnessModel] = None
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        index = _project_index(modules)
+        for module in modules:
+            aliases = import_aliases(module.tree)
+            for _cls, fn in walk_functions(module.tree):
+                if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                qualname = index.qualnames.get(
+                    (module.module, fn.name, fn.lineno)
+                )
+                hot_reason = None
+                if self.hotness is not None and qualname is not None:
+                    hot_reason = self.hotness.hot_reason(
+                        index.graph, qualname, index.hot_edges
+                    )
+                yield from self.check_function(
+                    module, fn, aliases, index, hot_reason
+                )
+
+    def check_function(
+        self,
+        module: ModuleInfo,
+        fn: FunctionNode,
+        aliases: Dict[str, str],
+        index: _ProjectIndex,
+        hot_reason: Optional[str],
+    ) -> Iterator[Finding]:
+        """Per-function findings (overridden by each rule)."""
+        return iter(())
+
+    def perf_finding(
+        self,
+        module: ModuleInfo,
+        line: int,
+        message: str,
+        hot_reason: Optional[str],
+        flow_path: Tuple[int, ...] = (),
+    ) -> Finding:
+        severity = self.severity
+        if hot_reason is not None:
+            if severity.rank < Severity.WARNING.rank:
+                severity = Severity.WARNING
+            message = f"{message} [hot path: {hot_reason}]"
+        return Finding(
+            rule_id=self.rule_id,
+            severity=severity,
+            path=module.path,
+            line=line,
+            message=message,
+            flow_path=flow_path,
+        )
+
+
+class AllocHotRule(PerfRule):
+    """Container/object allocation inside loop bodies."""
+
+    rule_id = "PERF-ALLOC-HOT"
+    description = (
+        "comprehension, list()/dict()/set()/tuple() or object construction "
+        "inside a loop body — allocations on every iteration"
+    )
+
+    def check_function(
+        self,
+        module: ModuleInfo,
+        fn: FunctionNode,
+        aliases: Dict[str, str],
+        index: _ProjectIndex,
+        hot_reason: Optional[str],
+    ) -> Iterator[Finding]:
+        loops = index.loop_index(fn)
+        if not loops.loops:
+            return
+        # Exception construction is the error path, not a per-iteration
+        # cost — `raise ValueError(...)` in a loop is not an allocation bug.
+        raised: Set[int] = set()
+        for node in walk_own_scope(fn):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                for sub in ast.walk(node.exc):
+                    raised.add(id(sub))
+        for node in walk_own_scope(fn):
+            if id(node) in raised:
+                continue
+            what: Optional[str] = None
+            if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+                what = "a comprehension"
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                name = node.func.id
+                if name in _BUILTIN_CONTAINERS and name not in aliases:
+                    what = f"{name}()"
+                elif name[:1].isupper() and not name.isupper():
+                    what = f"{name}(...) object construction"
+            if what is None:
+                continue
+            loop = loops.innermost(node.lineno)
+            if loop is None:
+                continue
+            yield self.perf_finding(
+                module,
+                node.lineno,
+                f"{what} allocates on every iteration of the loop at "
+                f"line {loop.header_line} (depth {loop.depth}); hoist it or "
+                "reuse one object across iterations",
+                hot_reason,
+                flow_path=(loop.header_line, node.lineno),
+            )
+
+
+class NumpyCopyRule(PerfRule):
+    """Implicit ndarray copies: np.array on arrays, astype defaults,
+    fancy indexing in loops, dtype-converting asarray in loops."""
+
+    rule_id = "PERF-NUMPY-COPY"
+    description = (
+        "implicit ndarray copy: np.array(...) without copy=False, "
+        "astype() without copy=False, dtype-converting or fancy-indexing "
+        "gathers inside loops"
+    )
+
+    def check_function(
+        self,
+        module: ModuleInfo,
+        fn: FunctionNode,
+        aliases: Dict[str, str],
+        index: _ProjectIndex,
+        hot_reason: Optional[str],
+    ) -> Iterator[Finding]:
+        loops = index.loop_index(fn)
+        in_comp = _comprehension_nodes(fn)
+
+        def looped(node: ast.expr) -> Optional[int]:
+            """Header line of the loop re-evaluating ``node``, if any."""
+            loop = loops.innermost(node.lineno)
+            if loop is not None:
+                return loop.header_line
+            if id(node) in in_comp:
+                return node.lineno
+            return None
+
+        for node in walk_own_scope(fn):
+            if not isinstance(node, ast.Call):
+                if (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.ctx, ast.Load)
+                    and looped(node) is not None
+                ):
+                    sliced = node.slice
+                    is_gather = isinstance(sliced, ast.List) or (
+                        isinstance(sliced, ast.Name)
+                        and _INDEXISH_RE.search(sliced.id) is not None
+                    )
+                    base = dotted_name(node.value)
+                    if is_gather and base is not None and _ARRAYISH_RE.search(base):
+                        header = looped(node) or node.lineno
+                        yield self.perf_finding(
+                            module,
+                            node.lineno,
+                            f"fancy indexing of {base!r} allocates a gathered "
+                            "copy on every iteration of the loop at line "
+                            f"{header}; gather once outside the loop",
+                            hot_reason,
+                            flow_path=(header, node.lineno),
+                        )
+                continue
+
+            resolved = resolve_call_name(node, aliases)
+            keywords = {kw.arg for kw in node.keywords if kw.arg}
+            if resolved == "numpy.array":
+                arg_is_literal = bool(node.args) and isinstance(
+                    node.args[0], (ast.Constant, ast.List, ast.Tuple, ast.Dict)
+                )
+                if not arg_is_literal and "copy" not in keywords and node.args:
+                    detail = (
+                        " (and the dtype= conversion can silently upcast)"
+                        if "dtype" in keywords
+                        else ""
+                    )
+                    yield self.perf_finding(
+                        module,
+                        node.lineno,
+                        "np.array(...) always copies its input"
+                        f"{detail}; use np.asarray when a view suffices, "
+                        "or pass copy=False to make the copy explicit",
+                        hot_reason,
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and "copy" not in keywords
+            ):
+                yield self.perf_finding(
+                    module,
+                    node.lineno,
+                    "astype() copies even when the dtype already matches; "
+                    "pass copy=False to return the input unchanged in the "
+                    "matching-dtype case",
+                    hot_reason,
+                )
+            elif resolved == "numpy.asarray" and "dtype" in keywords:
+                header = looped(node)
+                if header is not None:
+                    yield self.perf_finding(
+                        module,
+                        node.lineno,
+                        "np.asarray(..., dtype=...) copies whenever the "
+                        "input dtype differs (silent upcast) — on every "
+                        f"iteration of the loop at line {header}; convert "
+                        "once outside the loop or guard on the dtype",
+                        hot_reason,
+                        flow_path=(header, node.lineno),
+                    )
+
+
+class PicklePayloadRule(PerfRule):
+    """ndarrays crossing multiprocessing queues by pickling."""
+
+    rule_id = "PERF-PICKLE-PAYLOAD"
+    severity = Severity.WARNING
+    description = (
+        "ndarray payload put on a multiprocessing queue — every transfer "
+        "pickles the full array across the process boundary"
+    )
+
+    def check_function(
+        self,
+        module: ModuleInfo,
+        fn: FunctionNode,
+        aliases: Dict[str, str],
+        index: _ProjectIndex,
+        hot_reason: Optional[str],
+    ) -> Iterator[Finding]:
+        if "multiprocessing" not in aliases.values():
+            return
+        for node in walk_own_scope(fn):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if not isinstance(node.func, ast.Attribute) or node.func.attr != "put":
+                continue
+            receiver = _call_receiver_name(node)
+            if receiver is None or "queue" not in receiver.lower():
+                continue
+            carrier = self._array_payload(node.args[0])
+            if carrier is None:
+                continue
+            yield self.perf_finding(
+                module,
+                node.lineno,
+                f"payload {carrier!r} on {receiver}.put() pickles an "
+                "ndarray across the process boundary on every transfer; "
+                "move bulk arrays to shared memory "
+                "(multiprocessing.shared_memory) or keep the queue for "
+                "control messages only",
+                hot_reason,
+            )
+
+    @staticmethod
+    def _array_payload(payload: ast.expr) -> Optional[str]:
+        """Name of an array-carrying expression inside ``payload``."""
+        for sub in ast.walk(payload):
+            if isinstance(sub, ast.Name) and _ARRAYISH_RE.search(sub.id):
+                return sub.id
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "copy"
+            ):
+                base = dotted_name(sub.func.value)
+                if base is not None and _ARRAYISH_RE.search(base):
+                    return f"{base}.copy()"
+        return None
+
+
+class AttrLoopRule(PerfRule):
+    """Repeated attribute/global chain lookups inside loop bodies."""
+
+    rule_id = "PERF-ATTR-LOOP"
+    description = (
+        "the same attribute chain (self.x.y, module.fn, bound method) "
+        "looked up repeatedly inside one loop body — bind it to a local "
+        "before the loop"
+    )
+
+    #: identical chain occurrences in one loop body before reporting.
+    min_occurrences = 2
+
+    def check_function(
+        self,
+        module: ModuleInfo,
+        fn: FunctionNode,
+        aliases: Dict[str, str],
+        index: _ProjectIndex,
+        hot_reason: Optional[str],
+    ) -> Iterator[Finding]:
+        loops = index.loop_index(fn)
+        for loop in loops.loops:
+            yield from self._check_loop(module, fn, loop, hot_reason)
+
+    def _check_loop(
+        self,
+        module: ModuleInfo,
+        fn: FunctionNode,
+        loop: Loop,
+        hot_reason: Optional[str],
+    ) -> Iterator[Finding]:
+        rebound: Set[str] = set()
+        reads: Dict[str, List[int]] = {}
+        seen_attr_ids: Set[int] = set()
+        for node in walk_own_scope(fn):
+            lineno = getattr(node, "lineno", None)
+            if lineno is None or lineno not in loop.lines:
+                continue
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                rebound.add(node.id)
+            if isinstance(node, ast.Attribute) and id(node) not in seen_attr_ids:
+                if not isinstance(node.ctx, ast.Load):
+                    continue
+                chain = dotted_name(node)
+                if chain is None:
+                    continue
+                # Record the outermost chain only; mark sub-chains seen.
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Attribute):
+                        seen_attr_ids.add(id(sub))
+                reads.setdefault(chain, []).append(lineno)
+        for chain, lines in sorted(reads.items()):
+            if len(lines) < self.min_occurrences:
+                continue
+            root = chain.split(".", 1)[0]
+            if root in rebound:
+                continue
+            lines.sort()
+            yield self.perf_finding(
+                module,
+                lines[0],
+                f"attribute chain {chain!r} is looked up {len(lines)} times "
+                f"per iteration of the loop at line {loop.header_line}; "
+                "bind it to a local before the loop",
+                hot_reason,
+                flow_path=tuple([loop.header_line] + lines[:4]),
+            )
+
+
+class LogHotRule(PerfRule):
+    """Eagerly formatted logging calls."""
+
+    rule_id = "PERF-LOG-HOT"
+    description = (
+        "f-string / %-formatted / .format() argument built eagerly for a "
+        "logger call — the string is rendered even when the level is off"
+    )
+
+    def check_function(
+        self,
+        module: ModuleInfo,
+        fn: FunctionNode,
+        aliases: Dict[str, str],
+        index: _ProjectIndex,
+        hot_reason: Optional[str],
+    ) -> Iterator[Finding]:
+        for node in walk_own_scope(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _LOG_METHODS:
+                continue
+            receiver = dotted_name(node.func.value)
+            if receiver is None or "log" not in receiver.lower():
+                continue
+            for arg in node.args:
+                kind = self._eager_kind(arg)
+                if kind is not None:
+                    yield self.perf_finding(
+                        module,
+                        node.lineno,
+                        f"{kind} passed to {receiver}.{node.func.attr}() is "
+                        "rendered before the level check; pass lazy "
+                        '%-style arguments (logger.debug("x=%s", x))',
+                        hot_reason,
+                    )
+                    break
+
+    @staticmethod
+    def _eager_kind(arg: ast.expr) -> Optional[str]:
+        if isinstance(arg, ast.JoinedStr):
+            return "an f-string"
+        if isinstance(arg, ast.BinOp) and isinstance(arg.op, (ast.Mod, ast.Add)):
+            for side in (arg.left, arg.right):
+                if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                    return "eager %-formatting" if isinstance(
+                        arg.op, ast.Mod
+                    ) else "eager string concatenation"
+        if (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Attribute)
+            and arg.func.attr == "format"
+        ):
+            return "an eager .format() call"
+        return None
+
+
+class ScanRule(PerfRule):
+    """Linear membership scans inside loops."""
+
+    rule_id = "PERF-SCAN"
+    description = (
+        "linear `in` / .index() scan over a list inside a loop body — "
+        "every iteration pays O(n); use a set or dict"
+    )
+
+    def check_function(
+        self,
+        module: ModuleInfo,
+        fn: FunctionNode,
+        aliases: Dict[str, str],
+        index: _ProjectIndex,
+        hot_reason: Optional[str],
+    ) -> Iterator[Finding]:
+        loops = index.loop_index(fn)
+        if not loops.loops:
+            return
+        list_names = self._list_bound_names(fn, aliases)
+        for node in walk_own_scope(fn):
+            loop = loops.innermost(getattr(node, "lineno", 0))
+            if loop is None:
+                continue
+            if isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+            ):
+                target = node.comparators[-1]
+                scanned: Optional[str] = None
+                if isinstance(target, (ast.List, ast.Tuple)) and len(target.elts) > 3:
+                    scanned = f"a {len(target.elts)}-element literal"
+                elif isinstance(target, ast.Name) and target.id in list_names:
+                    scanned = f"list {target.id!r}"
+                if scanned is not None:
+                    yield self.perf_finding(
+                        module,
+                        node.lineno,
+                        f"membership test scans {scanned} linearly on every "
+                        f"iteration of the loop at line {loop.header_line}; "
+                        "use a set (or precompute one outside the loop)",
+                        hot_reason,
+                        flow_path=(loop.header_line, node.lineno),
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "index"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in list_names
+            ):
+                yield self.perf_finding(
+                    module,
+                    node.lineno,
+                    f".index() on list {node.func.value.id!r} is a linear "
+                    "scan on every iteration of the loop at line "
+                    f"{loop.header_line}; keep a value -> position dict",
+                    hot_reason,
+                    flow_path=(loop.header_line, node.lineno),
+                )
+
+    @staticmethod
+    def _list_bound_names(
+        fn: FunctionNode, aliases: Dict[str, str]
+    ) -> Set[str]:
+        """Local names bound to a list literal or ``list(...)`` call."""
+        names: Set[str] = set()
+        for node in walk_own_scope(fn):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, ast.List) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "list"
+                and "list" not in aliases
+            ):
+                names.add(target.id)
+        return names

@@ -74,7 +74,7 @@ class SpecSyncPolicy(SyncPolicy):
         self.scheduler = SpecSyncScheduler(
             num_workers=engine.num_workers,
             tuner=self.tuner,
-            schedule_fn=lambda delay, fn: engine.sim.schedule(delay, fn),
+            schedule_fn=lambda delay, fn: engine.sim.defer(delay, fn),
             now_fn=lambda: engine.now,
             send_resync_fn=self._send_resync,
             # The scheduler shares the engine's virtual-time tracer and

@@ -72,24 +72,33 @@ class EpochTrace:
         """Mean iteration span across workers (None when unknown)."""
         if not self.iteration_spans:
             return None
-        return float(np.mean(list(self.iteration_spans.values())))
+        spans = self.iteration_spans.values()
+        return sum(spans) / len(spans)
 
 
 def estimate_freshness_gain(
-    trace: EpochTrace, worker_id: int, window_s: float
+    trace: EpochTrace,
+    worker_id: int,
+    window_s: float,
+    push_times: Optional[Sequence[float]] = None,
 ) -> int:
     """ũ_i(Δ): pushes by peers in (p_i, p_i + Δ], where p_i is worker i's
     last push of the previous epoch (its next pull followed immediately).
+
+    ``push_times`` accepts a precomputed ``trace.push_times()`` so
+    Algorithm 1's candidate scan does not rebuild the list for every
+    (worker, window) pair.
     """
     if window_s < 0:
         raise ValueError(f"window_s must be >= 0, got {window_s}")
     reference = trace.last_push_by_worker.get(worker_id)
     if reference is None:
         return 0
-    times = trace.push_times()
+    times = trace.push_times() if push_times is None else push_times
     lo = bisect.bisect_right(times, reference)
     hi = bisect.bisect_right(times, reference + window_s)
-    return sum(1 for i in range(lo, hi) if trace.pushes[i][1] != worker_id)
+    pushes = trace.pushes
+    return sum(1 for i in range(lo, hi) if pushes[i][1] != worker_id)
 
 
 def estimate_freshness_loss(
@@ -103,16 +112,34 @@ def estimate_freshness_loss(
     return window_s * (num_workers - 1) / iteration_span_s
 
 
-def freshness_improvement(trace: EpochTrace, window_s: float) -> float:
-    """F̃(Δ) = Σ_i (ũ_i(Δ) − l̃_i(Δ))  (Eq. 7)."""
-    fallback_span = trace.mean_span()
+def freshness_improvement(
+    trace: EpochTrace,
+    window_s: float,
+    push_times: Optional[Sequence[float]] = None,
+    fallback_span: Optional[float] = None,
+) -> float:
+    """F̃(Δ) = Σ_i (ũ_i(Δ) − l̃_i(Δ))  (Eq. 7).
+
+    ``push_times`` / ``fallback_span`` accept precomputed
+    ``trace.push_times()`` / ``trace.mean_span()`` so the per-candidate
+    scan in :func:`tune_hyperparams` shares them across windows.
+    """
+    if push_times is None:
+        push_times = trace.push_times()
+    if fallback_span is None:
+        fallback_span = trace.mean_span()
     total = 0.0
-    for worker_id in range(trace.num_workers):
-        gain = estimate_freshness_gain(trace, worker_id, window_s)
-        span = trace.iteration_spans.get(worker_id, fallback_span)
+    num_workers = trace.num_workers
+    spans = trace.iteration_spans
+    for worker_id in range(num_workers):
+        gain = estimate_freshness_gain(trace, worker_id, window_s, push_times)
+        span = spans.get(worker_id, fallback_span)
         if span is None or span <= 0:
             continue
-        total += gain - estimate_freshness_loss(trace.num_workers, span, window_s)
+        # Eq. 6 inline (estimate_freshness_loss), minus the per-call checks
+        # already guaranteed here: window_s >= 0 was validated above and
+        # span > 0 by the guard.
+        total += gain - window_s * (num_workers - 1) / span
     return total
 
 
@@ -135,7 +162,7 @@ def candidate_windows(
     }
     diffs = sorted(d for d in raw if d > 0)
     if len(diffs) > max_candidates:
-        idx = np.linspace(0, len(diffs) - 1, max_candidates).astype(int)
+        idx = np.linspace(0, len(diffs) - 1, max_candidates).astype(int, copy=False)
         diffs = [diffs[i] for i in idx]
     return diffs
 
@@ -152,7 +179,8 @@ def tune_hyperparams(
     mean_span = trace.mean_span()
     if mean_span is None or mean_span <= 0:
         return None
-    candidates = candidate_windows(trace.push_times(), max_candidates)
+    push_times = trace.push_times()
+    candidates = candidate_windows(push_times, max_candidates)
     # A window at least as long as an iteration is pure delay; restrict the
     # search to windows shorter than the mean span (the paper's search uses
     # half the batch time as an upper bound for the same reason).
@@ -163,7 +191,7 @@ def tune_hyperparams(
     best_window = None
     best_improvement = -np.inf
     for window in candidates:
-        improvement = freshness_improvement(trace, window)
+        improvement = freshness_improvement(trace, window, push_times, mean_span)
         if improvement > best_improvement:
             best_improvement = improvement
             best_window = window

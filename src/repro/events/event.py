@@ -21,7 +21,7 @@ class Event:
     the simulator skips it on pop).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "canceled", "fired")
+    __slots__ = ("time", "seq", "fn", "args", "canceled", "fired", "recycle")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
         self.time = time
@@ -30,6 +30,10 @@ class Event:
         self.args = args
         self.canceled = False
         self.fired = False
+        #: True for fire-and-forget events (``Simulator.defer``): no handle
+        #: escaped to user code, so the simulator may reset and reuse this
+        #: object after the callback runs.
+        self.recycle = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Canceling a fired event is an error."""
@@ -43,7 +47,12 @@ class Event:
         return not (self.canceled or self.fired)
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Tuple-free compare: this runs O(log n) times per heap operation
+        # on the dispatch path, and (time, seq) < (...) allocates two
+        # tuples per call.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:
         state = "canceled" if self.canceled else ("fired" if self.fired else "pending")

@@ -18,6 +18,11 @@ class SimulationError(Exception):
     """Raised on invalid simulator usage (negative delays, time travel)."""
 
 
+def _recycled(*_args) -> None:
+    """Placeholder callback on recycled Event slots, so a slot sitting in
+    the free list retains neither the fired callback nor its arguments."""
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -42,12 +47,17 @@ class Simulator:
     #: empty-bus fast path is a single truthiness check.
     _taps: Tuple[EventTap, ...] = ()
 
+    #: Upper bound on the fire-and-forget free list (see :meth:`defer`) —
+    #: enough to cover in-flight message bursts without pinning memory.
+    _FREE_MAX = 256
+
     def __init__(self, start_time: float = 0.0):
         self.now = float(start_time)
         self._heap: list[Event] = []
         self._seq = 0
         self._events_fired = 0
         self._running = False
+        self._free: list[Event] = []
 
     # ------------------------------------------------------------------
     # Instrumentation tap
@@ -101,25 +111,62 @@ class Simulator:
         heapq.heappush(self._heap, event)
         return event
 
+    def defer(self, delay: float, fn: Callable, *args) -> None:
+        """Fire-and-forget :meth:`schedule`: no Event handle is returned.
+
+        Because nothing outside the simulator can hold (or cancel) the
+        event, its slotted Event object is recycled through a small free
+        list after it fires — the dominant schedule→fire→discard cycle of
+        the dispatch loop then allocates nothing.  Use :meth:`schedule`
+        whenever the caller needs the handle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        time = self.now + delay
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = self._seq
+            event.fn = fn
+            event.args = args
+            event.canceled = False
+            event.fired = False
+        else:
+            event = Event(time, self._seq, fn, args)
+            event.recycle = True
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            event = pop(heap)
             if event.canceled:
                 continue
-            self.now = event.time
-            event.fired = True
-            self._events_fired += 1
-            taps = Simulator._taps
-            if taps:
-                for tap in taps:
-                    tap(event.time, event.seq, event.fn, event.args)
-            event.fn(*event.args)
+            self._fire(event)
             return True
         return False
+
+    def _fire(self, event: Event) -> None:
+        """Dispatch one popped, non-canceled event."""
+        self.now = event.time
+        event.fired = True
+        self._events_fired += 1
+        taps = Simulator._taps
+        if taps:
+            for tap in taps:
+                tap(event.time, event.seq, event.fn, event.args)
+        event.fn(*event.args)
+        if event.recycle and len(self._free) < self._FREE_MAX:
+            event.fn = _recycled
+            event.args = ()
+            self._free.append(event)
 
     def run(
         self,
@@ -138,16 +185,23 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         fired = 0
+        # The loop pops the event it just peeked: binding the heap and
+        # dispatching inline avoids the peek-then-step double scan (and
+        # the per-iteration self._heap lookups) of the naive form.
+        heap = self._heap
+        pop = heapq.heappop
+        fire = self._fire
         try:
-            while True:
-                event = self._peek()
-                if event is None:
-                    break
+            while heap:
+                event = heap[0]
+                if event.canceled:
+                    pop(heap)
+                    continue
                 if until is not None and event.time > until:
                     self.now = max(self.now, until)
                     break
-                if not self.step():
-                    break
+                pop(heap)
+                fire(event)
                 fired += 1
                 if stop_when is not None and stop_when():
                     break

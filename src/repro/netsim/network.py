@@ -98,6 +98,10 @@ class Network:
         #: fraction of iteration time).
         self.serialize_node_transfers = serialize_node_transfers
         self._node_busy_until: dict = {}
+        #: (src, dst) -> effective LinkModel.  The NIC map is fixed at
+        #: construction, so the per-pair link never changes; caching it
+        #: keeps the per-message path free of list/LinkModel allocation.
+        self._link_cache: dict = {}
         self._messages_sent = 0
         self._messages_delivered = 0
         #: Observability: mirrors the ledger's accounting into live
@@ -108,6 +112,14 @@ class Network:
     def _link_for(self, src: str, dst: str) -> LinkModel:
         if not self.node_bandwidth:
             return self.link
+        key = (src, dst)
+        cached = self._link_cache.get(key)
+        if cached is None:
+            cached = self._build_link(src, dst)
+            self._link_cache[key] = cached
+        return cached
+
+    def _build_link(self, src: str, dst: str) -> LinkModel:
         endpoint_bw = [
             self.node_bandwidth[node]
             for node in (src, dst)
@@ -130,8 +142,10 @@ class Network:
         message.sent_at = self.sim.now
         self._messages_sent += 1
         if message.src == message.dst:
-            # Loopback: same-node worker/server co-location is free.
-            self.sim.schedule(0.0, self._deliver, message, on_delivery, False)
+            # Loopback: same-node worker/server co-location is free.  The
+            # delivery events are fire-and-forget, so defer() lets the
+            # simulator recycle their Event slots.
+            self.sim.defer(0.0, self._deliver, message, on_delivery, False)
             return
         delay = self._link_for(message.src, message.dst).delay_for(
             message.size_bytes, self.rng, message.parallel_streams
@@ -143,7 +157,7 @@ class Network:
             finish = start + delay
             self._node_busy_until[message.src] = finish
             delay = finish - self.sim.now
-        self.sim.schedule(delay, self._deliver, message, on_delivery, True)
+        self.sim.defer(delay, self._deliver, message, on_delivery, True)
 
     def _deliver(
         self, message: Message, on_delivery: Callable[[Message], None], account: bool

@@ -413,7 +413,7 @@ class TrainingEngine:
         if delay < 0:
             raise ValueError(f"policy returned negative pull delay {delay}")
         if delay > 0:
-            self.sim.schedule(delay, self._issue_pull, worker, False)
+            self.sim.defer(delay, self._issue_pull, worker, False)
         else:
             self._issue_pull(worker, False)
 
@@ -584,7 +584,7 @@ class TrainingEngine:
     # Evaluation
     # ------------------------------------------------------------------
     def _schedule_eval(self) -> None:
-        self.sim.schedule(self.config.eval_interval_s, self._evaluate)
+        self.sim.defer(self.config.eval_interval_s, self._evaluate)
 
     def _evaluate(self) -> None:
         loss = self.model.loss(self.store.params, self.eval_batch)

@@ -40,6 +40,10 @@ class KVStore:
         self._arrays: Dict[str, np.ndarray] = {}
         self._key_versions: Dict[str, int] = {}
         self._total_pushes = 0
+        #: key -> cached single-key ParamSet over the *same* array object;
+        #: update rules mutate arrays in place, so the wrapper stays valid
+        #: and push() allocates no per-call parameter wrapper.
+        self._param_wrappers: Dict[str, ParamSet] = {}
 
     @classmethod
     def create(cls, mode: str = "dist_async",
@@ -56,7 +60,10 @@ class KVStore:
         """Register a key with its initial value.  Re-init is an error."""
         if key in self._arrays:
             raise KeyError(f"key {key!r} already initialized")
-        self._arrays[key] = np.array(value, dtype=np.float64)
+        # Explicit copy: the store must not alias the caller's array.
+        array = np.array(value, dtype=np.float64, copy=True)
+        self._arrays[key] = array
+        self._param_wrappers[key] = ParamSet({key: array})
         self._key_versions[key] = 0
 
     def push(self, key: str, gradient: np.ndarray) -> int:
@@ -72,11 +79,10 @@ class KVStore:
                 f"gradient shape {gradient.shape} does not match "
                 f"{key!r} shape {array.shape}"
             )
-        # Route through the update rule on a single-key ParamSet so
-        # schedules/clipping behave exactly as in the engine.
-        params = ParamSet({key: array})
-        self._update_rule.apply(params, ParamSet({key: gradient}))
-        self._arrays[key] = params[key]
+        # Route through the update rule on the cached single-key ParamSet
+        # so schedules/clipping behave exactly as in the engine.  apply()
+        # mutates the stored array in place, so no re-assignment is needed.
+        self._update_rule.apply(self._param_wrappers[key], ParamSet({key: gradient}))
         self._key_versions[key] += 1
         self._total_pushes += 1
         return self._key_versions[key]
@@ -92,7 +98,9 @@ class KVStore:
         if array.ndim < 1:
             raise ValueError(f"key {key!r} is scalar; no rows to pull")
         row_ids = np.asarray(row_ids, dtype=np.int64)
-        return array[row_ids].copy()
+        # Fancy indexing already materializes a fresh gathered array; the
+        # old trailing .copy() duplicated every pulled row a second time.
+        return array[row_ids]
 
     # ------------------------------------------------------------------
     # Introspection

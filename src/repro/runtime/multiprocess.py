@@ -101,6 +101,7 @@ def _server_main(initial_params, update_rule, request_queue, response_queues,
                 # Mirror the wire tag in processing order, for replay
                 # through the protocol model (trace conformance).
                 wire_queue.put(("pull", worker_id), timeout=_PUT_TIMEOUT_S)
+            # repro: allow[PERF-PICKLE-PAYLOAD] pickled pull payload is the known cost of the queue backend; ROADMAP "Make the hot paths actually fast" tracks the shared-memory zero-copy store replacing it
             response_queues[worker_id].put(
                 ("params", params.copy(), version), timeout=_PUT_TIMEOUT_S
             )
@@ -115,6 +116,7 @@ def _server_main(initial_params, update_rule, request_queue, response_queues,
             response_queues[worker_id].put(("ack", version), timeout=_PUT_TIMEOUT_S)
         elif kind == "stats":
             mean = staleness_sum / staleness_count if staleness_count else 0.0
+            # repro: allow[PERF-PICKLE-PAYLOAD] one-shot shutdown stats snapshot, not a per-iteration transfer; zero-copy store (ROADMAP) removes it with the backend
             stats_reply_queue.put(
                 ("stats", version, mean, params.copy()), timeout=_PUT_TIMEOUT_S
             )
@@ -171,6 +173,7 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
         if stop_event.is_set() or snapshot is None:
             break
         _, gradient = model.loss_and_grad(snapshot, batch)
+        # repro: allow[PERF-PICKLE-PAYLOAD] pickled push gradient is the known cost of the queue backend; ROADMAP "Make the hot paths actually fast" tracks the shared-memory zero-copy store replacing it
         request_queue.put(("push", worker_id, gradient, version), timeout=_PUT_TIMEOUT_S)
         while True:
             try:

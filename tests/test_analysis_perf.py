@@ -1,0 +1,540 @@
+"""Fixture tests for the PERF-* rule pack and its hotness layer.
+
+Each rule gets true positives and true negatives run through
+``lint_source`` exactly like the real engine runs files; the hotness
+tests bind a :class:`HotnessModel` the same way ``repro lint --profile``
+does and check the info → warning escalation.
+"""
+
+import ast
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import lint_source
+from repro.analysis.flow.cfg import build_cfg
+from repro.analysis.perfmodel import (
+    HotnessModel,
+    ProfileError,
+    load_hot_profile,
+    natural_loops,
+)
+from repro.analysis.rules import RULE_PACKS, default_rules, rules_for
+from repro.analysis.rules.perf import (
+    AllocHotRule,
+    AttrLoopRule,
+    LogHotRule,
+    NumpyCopyRule,
+    PicklePayloadRule,
+    ScanRule,
+)
+from repro.cli import main
+
+ZONE = "repro.runtime.fixture"
+
+
+def _lint(source, rules, module=ZONE, hotness=None):
+    if hotness is not None:
+        for rule in rules:
+            rule.hotness = hotness
+    findings = lint_source(textwrap.dedent(source), module=module, rules=rules)
+    return [f for f in findings if not f.suppressed]
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+def _loops_of(source, name="f"):
+    tree = ast.parse(textwrap.dedent(source))
+    fn = next(n for n in tree.body if getattr(n, "name", None) == name)
+    return natural_loops(build_cfg(fn))
+
+
+# ----------------------------------------------------------------------
+# natural_loops — loop recovery from the CFG
+# ----------------------------------------------------------------------
+class TestNaturalLoops:
+    def test_plain_for_loop_is_a_loop(self):
+        # Regression: the CFG only tags `continue` edges as kind "back";
+        # the ordinary body-end -> head edge keeps the body's dangling
+        # kind, so plain loops must be recovered from retreating edges.
+        (loop,) = _loops_of('''
+            def f(xs):
+                out = []
+                for x in xs:
+                    out.append(x)
+                return out
+        ''')
+        assert loop.header_line == 4
+        assert {4, 5} <= loop.lines
+
+    def test_plain_while_loop_is_a_loop(self):
+        (loop,) = _loops_of('''
+            def f(n):
+                i = 0
+                while i < n:
+                    i += 1
+                return i
+        ''')
+        assert loop.header_line == 4
+
+    def test_continue_merges_into_one_loop(self):
+        (loop,) = _loops_of('''
+            def f(xs):
+                out = []
+                for x in xs:
+                    if x:
+                        continue
+                    out.append(x)
+                return out
+        ''')
+        assert loop.header_line == 4
+        assert {4, 5, 6, 7} <= loop.lines
+
+    def test_nested_loops_get_depths(self):
+        loops = _loops_of('''
+            def f(m):
+                total = 0
+                while total < m:
+                    for j in range(3):
+                        total += j
+                return total
+        ''')
+        assert [(l.header_line, l.depth) for l in loops] == [(4, 1), (5, 2)]
+
+    def test_straight_line_code_has_no_loops(self):
+        assert _loops_of('''
+            def f(x):
+                y = x + 1
+                return y
+        ''') == []
+
+
+# ----------------------------------------------------------------------
+# PERF-ALLOC-HOT
+# ----------------------------------------------------------------------
+class TestAllocHot:
+    def test_tp_object_construction_in_loop(self):
+        findings = _lint('''
+            def f(items):
+                out = []
+                for item in items:
+                    out.append(Record(item))
+                return out
+        ''', [AllocHotRule()])
+        assert _ids(findings) == ["PERF-ALLOC-HOT"]
+        assert "Record(...)" in findings[0].message
+        assert "line 4" in findings[0].message
+
+    def test_tp_container_builtin_in_loop(self):
+        findings = _lint('''
+            def f(items):
+                for item in items:
+                    scratch = dict(a=item)
+                    use(scratch)
+        ''', [AllocHotRule()])
+        assert _ids(findings) == ["PERF-ALLOC-HOT"]
+
+    def test_tn_allocation_outside_loop(self):
+        findings = _lint('''
+            def f(items):
+                scratch = dict()
+                for item in items:
+                    scratch[item] = item
+                return scratch
+        ''', [AllocHotRule()])
+        assert findings == []
+
+    def test_tn_raise_in_loop_is_error_path(self):
+        findings = _lint('''
+            def f(items):
+                for item in items:
+                    if item < 0:
+                        raise ValueError(f"bad {item}")
+        ''', [AllocHotRule()])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# PERF-NUMPY-COPY
+# ----------------------------------------------------------------------
+class TestNumpyCopy:
+    def test_tp_np_array_on_nonliteral(self):
+        findings = _lint('''
+            import numpy as np
+
+            def f(value):
+                return np.array(value, dtype=np.float64)
+        ''', [NumpyCopyRule()])
+        assert _ids(findings) == ["PERF-NUMPY-COPY"]
+        assert "always copies" in findings[0].message
+
+    def test_tn_np_array_with_explicit_copy(self):
+        findings = _lint('''
+            import numpy as np
+
+            def f(value):
+                return np.array(value, dtype=np.float64, copy=True)
+        ''', [NumpyCopyRule()])
+        assert findings == []
+
+    def test_tn_np_array_on_literal(self):
+        findings = _lint('''
+            import numpy as np
+
+            def f():
+                return np.array([1.0, 2.0])
+        ''', [NumpyCopyRule()])
+        assert findings == []
+
+    def test_tp_astype_without_copy_kw(self):
+        findings = _lint('''
+            def f(arr):
+                return arr.astype("float64")
+        ''', [NumpyCopyRule()])
+        assert _ids(findings) == ["PERF-NUMPY-COPY"]
+
+    def test_tp_asarray_dtype_in_loop(self):
+        findings = _lint('''
+            import numpy as np
+
+            def f(grads):
+                out = 0.0
+                for grad in grads:
+                    out += np.asarray(grad, dtype=np.float64).sum()
+                return out
+        ''', [NumpyCopyRule()])
+        assert _ids(findings) == ["PERF-NUMPY-COPY"]
+        assert "iteration of the loop" in findings[0].message
+
+    def test_tn_asarray_dtype_outside_loop(self):
+        findings = _lint('''
+            import numpy as np
+
+            def f(grad):
+                return np.asarray(grad, dtype=np.float64)
+        ''', [NumpyCopyRule()])
+        assert findings == []
+
+    def test_tp_fancy_index_gather_in_loop(self):
+        findings = _lint('''
+            def f(grad_vector, batches):
+                total = 0.0
+                for row_ids in batches:
+                    total += grad_vector[row_ids].sum()
+                return total
+        ''', [NumpyCopyRule()])
+        assert _ids(findings) == ["PERF-NUMPY-COPY"]
+        assert "gathered" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# PERF-PICKLE-PAYLOAD
+# ----------------------------------------------------------------------
+class TestPicklePayload:
+    def test_tp_array_on_mp_queue_is_warning_by_default(self):
+        findings = _lint('''
+            import multiprocessing
+
+            def f(queue, gradient):
+                queue.put(("push", gradient))
+        ''', [PicklePayloadRule()])
+        assert _ids(findings) == ["PERF-PICKLE-PAYLOAD"]
+        assert findings[0].severity.name == "WARNING"
+        assert "pickles an" in findings[0].message
+
+    def test_tn_without_multiprocessing_import(self):
+        findings = _lint('''
+            def f(queue, gradient):
+                queue.put(("push", gradient))
+        ''', [PicklePayloadRule()])
+        assert findings == []
+
+    def test_tn_control_message_payload(self):
+        findings = _lint('''
+            import multiprocessing
+
+            def f(queue):
+                queue.put(("stop", 1))
+        ''', [PicklePayloadRule()])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# PERF-ATTR-LOOP
+# ----------------------------------------------------------------------
+class TestAttrLoop:
+    def test_tp_repeated_chain_in_loop(self):
+        findings = _lint('''
+            def f(self, items):
+                for item in items:
+                    first(self.stats.scale)
+                    second(self.stats.scale)
+        ''', [AttrLoopRule()])
+        assert "PERF-ATTR-LOOP" in _ids(findings)
+        assert any("'self.stats.scale'" in f.message for f in findings)
+
+    def test_tn_single_lookup_per_iteration(self):
+        findings = _lint('''
+            def f(self, items):
+                for item in items:
+                    self.sink.write(item)
+        ''', [AttrLoopRule()])
+        assert findings == []
+
+    def test_tn_rebound_root_is_not_hoistable(self):
+        findings = _lint('''
+            def f(rows):
+                for row in rows:
+                    row = transform(row)
+                    use(row.cells.first)
+                    use(row.cells.last)
+        ''', [AttrLoopRule()])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# PERF-LOG-HOT
+# ----------------------------------------------------------------------
+class TestLogHot:
+    def test_tp_fstring_to_logger(self):
+        findings = _lint('''
+            def f(logger, x):
+                logger.debug(f"x is now {x}")
+        ''', [LogHotRule()])
+        assert _ids(findings) == ["PERF-LOG-HOT"]
+        assert "f-string" in findings[0].message
+
+    def test_tp_eager_percent_formatting(self):
+        findings = _lint('''
+            def f(log, x):
+                log.info("x=%s" % x)
+        ''', [LogHotRule()])
+        assert _ids(findings) == ["PERF-LOG-HOT"]
+
+    def test_tn_lazy_percent_args(self):
+        findings = _lint('''
+            def f(logger, x):
+                logger.debug("x is now %s", x)
+        ''', [LogHotRule()])
+        assert findings == []
+
+    def test_tn_non_logger_receiver(self):
+        findings = _lint('''
+            def f(sink, x):
+                sink.debug(f"x is now {x}")
+        ''', [LogHotRule()])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# PERF-SCAN
+# ----------------------------------------------------------------------
+class TestScan:
+    def test_tp_membership_on_list_in_loop(self):
+        findings = _lint('''
+            def f(items):
+                seen = []
+                for item in items:
+                    if item in seen:
+                        continue
+                    seen.append(item)
+                return seen
+        ''', [ScanRule()])
+        assert _ids(findings) == ["PERF-SCAN"]
+        assert "list 'seen'" in findings[0].message
+
+    def test_tp_index_on_list_in_loop(self):
+        findings = _lint('''
+            def f(items):
+                order = list(items)
+                for item in items:
+                    use(order.index(item))
+        ''', [ScanRule()])
+        assert _ids(findings) == ["PERF-SCAN"]
+
+    def test_tn_membership_on_set(self):
+        findings = _lint('''
+            def f(items):
+                seen = set()
+                for item in items:
+                    if item in seen:
+                        continue
+                    seen.add(item)
+                return seen
+        ''', [ScanRule()])
+        assert findings == []
+
+    def test_tn_scan_outside_loop(self):
+        findings = _lint('''
+            def f(items, probe):
+                order = list(items)
+                return probe in order
+        ''', [ScanRule()])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Hotness: profile-driven escalation
+# ----------------------------------------------------------------------
+HOT_SOURCE = '''
+    class Engine:
+        def on_compute_done(self, items):
+            out = []
+            for item in items:
+                out.append(Record(item))
+            return out
+
+    class Reporter:
+        def render(self, items):
+            out = []
+            for item in items:
+                out.append(Record(item))
+            return out
+'''
+
+
+class TestHotnessEscalation:
+    def test_hot_function_escalates_cold_stays_info(self):
+        hotness = HotnessModel({"Engine.on_compute_done": 500})
+        findings = _lint(HOT_SOURCE, [AllocHotRule()], hotness=hotness)
+        by_line = {f.line: f for f in findings}
+        hot = by_line[6]      # inside Engine.on_compute_done
+        cold = by_line[13]    # inside Reporter.render
+        assert hot.severity.name == "WARNING"
+        assert "hot path" in hot.message
+        assert "500" in hot.message
+        assert cold.severity.name == "INFO"
+        assert "hot path" not in cold.message
+
+    def test_no_profile_means_no_escalation(self):
+        findings = _lint(HOT_SOURCE, [AllocHotRule()])
+        assert {f.severity.name for f in findings} == {"INFO"}
+
+    def test_callee_of_hot_root_inherits_hotness(self):
+        source = '''
+            class Engine:
+                def on_compute_done(self, items):
+                    return self.helper(items)
+
+                def helper(self, items):
+                    out = []
+                    for item in items:
+                        out.append(Record(item))
+                    return out
+        '''
+        hotness = HotnessModel({"Engine.on_compute_done": 42})
+        findings = _lint(source, [AllocHotRule()], hotness=hotness)
+        assert _ids(findings) == ["PERF-ALLOC-HOT"]
+        assert findings[0].severity.name == "WARNING"
+        assert "reachable from" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# load_hot_profile — trace ingestion errors
+# ----------------------------------------------------------------------
+class TestLoadHotProfile:
+    def test_bare_snapshot_counters(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps(
+            {"counters": {"sim.dispatch.Engine.tick": 7, "net.bytes.push": 9}}
+        ))
+        model = load_hot_profile(str(trace))
+        assert model.dispatch_counts == {"Engine.tick": 7}
+
+    def test_trace_v2_perf_section(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps(
+            {"perf": {"counters": {"sim.dispatch.Engine.tick": 3}}}
+        ))
+        model = load_hot_profile(str(trace))
+        assert model.dispatch_counts == {"Engine.tick": 3}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ProfileError, match="cannot read"):
+            load_hot_profile(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ProfileError, match="not valid JSON"):
+            load_hot_profile(str(bad))
+
+    def test_counterless_payload_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"events": []}))
+        with pytest.raises(ProfileError, match="no perf counters"):
+            load_hot_profile(str(bad))
+
+
+# ----------------------------------------------------------------------
+# Pack registration, suppression, CLI
+# ----------------------------------------------------------------------
+class TestPackAndCli:
+    def test_perf_pack_registered_but_opt_in(self):
+        assert "perf" in RULE_PACKS
+        packed = {type(r) for r in rules_for(packs=["perf"])}
+        assert packed == {
+            AllocHotRule, NumpyCopyRule, PicklePayloadRule,
+            AttrLoopRule, LogHotRule, ScanRule,
+        }
+        # opt-in: the default batch (self-lint gate) must not include it
+        assert not packed & {type(r) for r in default_rules()}
+
+    def test_suppression_comment_silences_finding(self):
+        findings = lint_source(textwrap.dedent('''
+            import multiprocessing
+
+            def f(queue, gradient):
+                # repro: allow[PERF-PICKLE-PAYLOAD] queue backend cost, tracked on ROADMAP
+                queue.put(("push", gradient))
+        '''), module=ZONE, rules=[PicklePayloadRule()])
+        assert [f.rule_id for f in findings if not f.suppressed] == []
+        assert [f.rule_id for f in findings if f.suppressed] == [
+            "PERF-PICKLE-PAYLOAD"
+        ]
+
+    def test_cli_profile_escalates_to_gate_failure(self, tmp_path, capsys):
+        src = tmp_path / "hot.py"
+        src.write_text(textwrap.dedent('''
+            class Engine:
+                def tick(self, items):
+                    out = []
+                    for item in items:
+                        out.append(Record(item))
+                    return out
+        '''))
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps(
+            {"perf": {"counters": {"sim.dispatch.Engine.tick": 99}}}
+        ))
+        # without a profile: info findings pass the warning gate
+        assert main(["lint", "--pack", "perf", "--fail-on", "warning",
+                     str(src)]) == 0
+        capsys.readouterr()
+        # with the profile: the same finding escalates and trips the gate
+        code = main(["lint", "--pack", "perf", "--fail-on", "warning",
+                     "--profile", str(trace), str(src)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "warning" in out and "hot path" in out
+
+    def test_cli_missing_profile_is_exit_2(self, tmp_path, capsys):
+        src = tmp_path / "ok.py"
+        src.write_text("x = 1\n")
+        code = main(["lint", "--pack", "perf",
+                     "--profile", str(tmp_path / "nope.json"), str(src)])
+        assert code == 2
+        assert "cannot read profile" in capsys.readouterr().err
+
+    def test_cli_malformed_profile_is_exit_2(self, tmp_path, capsys):
+        src = tmp_path / "ok.py"
+        src.write_text("x = 1\n")
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        code = main(["lint", "--pack", "perf",
+                     "--profile", str(bad), str(src)])
+        assert code == 2
+        assert "must be a JSON object" in capsys.readouterr().err

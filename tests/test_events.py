@@ -261,3 +261,80 @@ class TestTapBus:
         sim.schedule(1.5, callback, 42)
         sim.run()
         assert seen == [(1.5, 0, callback, (42,))]
+
+
+class TestDeferRecycling:
+    """defer(): fire-and-forget scheduling with Event slot recycling."""
+
+    def test_defer_fires_in_time_order_with_scheduled_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("scheduled"))
+        sim.defer(1.0, order.append, "deferred")
+        sim.run()
+        assert order == ["deferred", "scheduled"]
+        assert sim.now == 2.0
+
+    def test_defer_shares_the_seq_counter_for_tie_breaks(self):
+        # determinism contract: interleaved schedule()/defer() at the same
+        # time fire in call order, exactly as two schedule() calls would
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.defer(1.0, order.append, "b")
+        sim.schedule(1.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_defer_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.defer(-0.1, lambda: None)
+
+    def test_fired_event_slot_is_reused(self):
+        sim = Simulator()
+        sim.defer(1.0, lambda: None)
+        sim.run()
+        assert len(sim._free) == 1
+        recycled = sim._free[0]
+        hits = []
+        sim.defer(1.0, hits.append, "again")
+        assert sim._free == []  # the slot was taken back out
+        sim.run()
+        assert hits == ["again"]
+        assert sim._free[0] is recycled
+
+    def test_recycled_slot_drops_callback_references(self):
+        # the free list must not pin the callback or its arguments alive
+        sim = Simulator()
+        payload = object()
+        sim.defer(0.5, lambda _p: None, payload)
+        sim.run()
+        (slot,) = sim._free
+        assert slot.args == ()
+        assert slot.fn.__name__ == "_recycled"
+
+    def test_free_list_is_bounded(self):
+        sim = Simulator()
+        for _ in range(Simulator._FREE_MAX + 50):
+            sim.defer(1.0, lambda: None)
+        sim.run()
+        assert len(sim._free) == Simulator._FREE_MAX
+
+    def test_scheduled_events_are_never_recycled(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim._free == []
+        assert handle.fired and not handle.recycle
+
+    def test_taps_see_deferred_events(self):
+        seen = []
+        Simulator.install_tap(lambda t, s, f, a: seen.append((t, a)))
+        try:
+            sim = Simulator()
+            sim.defer(1.0, lambda tag: None, "x")
+            sim.run()
+        finally:
+            Simulator.remove_tap()
+        assert seen == [(1.0, ("x",))]
