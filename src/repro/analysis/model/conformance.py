@@ -175,7 +175,10 @@ class _ProjectionTap:
         elif kind is MessageKind.PUSH:
             self._step(kind.wire_name, self._node_to_worker[message.src], None, time)
         elif kind in (MessageKind.NOTIFY, MessageKind.RESYNC):
-            worker, iteration = message.payload
+            # NOTIFY carries (worker, iteration); RESYNC additionally
+            # carries the triggering peer-push count, which the protocol
+            # model does not track.
+            worker, iteration = message.payload[0], message.payload[1]
             self._step(kind.wire_name, worker, iteration, time)
 
     def _step(self, kind: str, worker: int, iteration: Optional[int], time: float) -> None:

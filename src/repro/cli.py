@@ -7,6 +7,8 @@ Subcommands::
     repro compare --workload cifar10 --schemes original adaptive
     repro experiment fig8               # regenerate a paper table/figure
     repro trace out.json                # summarize a --trace capture
+    repro analyze out.json              # causal analytics: critical path,
+                                        # speculation ledger, staleness
     repro perf report out.json          # profiler/straggler dashboard
     repro bench [names…] --scale smoke  # emit BENCH_<name>.json files
     repro bench --compare OLD NEW       # regression-gate two bench files
@@ -152,6 +154,29 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("path", help="trace JSON file to summarize")
     trace_parser.add_argument("--format", choices=["text", "json"],
                               default="text")
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="causal trace analytics: critical-path attribution, "
+             "speculation ledger, staleness distributions",
+    )
+    analyze_parser.add_argument("path", help="trace JSON file to analyze")
+    analyze_parser.add_argument("--format", choices=["text", "json"],
+                                default="text")
+    analyze_parser.add_argument(
+        "--compare", metavar="OTHER",
+        help="diff against another trace (or a saved analysis JSON)",
+    )
+    analyze_parser.add_argument(
+        "--output", metavar="PATH",
+        help="also write the analytics JSON to PATH (for CI artifacts)",
+    )
+    analyze_parser.add_argument(
+        "--bench-output", metavar="PATH",
+        help="also write the speculation-efficiency metrics as a "
+             "BENCH-schema file usable with `repro bench --compare`",
+    )
+    add_fail_on_argument(analyze_parser)
 
     perf_parser = sub.add_parser(
         "perf", help="performance dashboards built from --trace captures"
@@ -492,6 +517,8 @@ def _cmd_trace(args) -> int:
             "flow_pairs": dict(sorted(summary.flows.items())),
             "unpaired_flows": summary.unpaired_flows,
             "abort_flow_pairs": summary.abort_flow_pairs,
+            "flow_accounting": summary.flow_accounting,
+            "aborts_by_track": dict(sorted(summary.aborts_by_track.items())),
             "counters": dict(sorted(summary.counters.items())),
             "gauges": dict(sorted(summary.gauges.items())),
             "histograms": dict(sorted(summary.histograms.items())),
@@ -501,6 +528,71 @@ def _cmd_trace(args) -> int:
     else:
         print(obs.render_summary(summary))
     return 0
+
+
+def _load_analysis(path: str) -> dict:
+    """Load ``path`` as analytics JSON, analyzing it first if it is a trace.
+
+    Accepts either a ``--trace`` capture (``traceEvents``) or a saved
+    ``repro analyze --output`` file (``runs``), so comparisons work
+    against both raw and pre-digested artifacts.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict) and "runs" in data and "traceEvents" not in data:
+        if data.get("schema_version") != obs.ANALYSIS_SCHEMA_VERSION:
+            raise obs.AnalysisError(
+                f"unsupported analysis schema_version "
+                f"{data.get('schema_version')!r} "
+                f"(this build reads v{obs.ANALYSIS_SCHEMA_VERSION})"
+            )
+        return data
+    return obs.analyze_trace(data)
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.findings import Finding, Severity
+
+    def _gate_error(rule_id: str, message: str) -> int:
+        findings = [Finding(
+            rule_id=rule_id, severity=Severity.ERROR,
+            path=args.path, line=1, message=message,
+        )]
+        print(render_text(findings))
+        return gate_exit_code(findings, args.fail_on)
+
+    try:
+        analysis = _load_analysis(args.path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return _gate_error("TRACE-PARSE", f"cannot read trace: {exc}")
+    except obs.AnalysisError as exc:
+        return _gate_error("TRACE-SCHEMA", str(exc))
+
+    if args.compare:
+        try:
+            other = _load_analysis(args.compare)
+        except (OSError, json.JSONDecodeError) as exc:
+            return _gate_error("TRACE-PARSE", f"cannot read comparison: {exc}")
+        except obs.AnalysisError as exc:
+            return _gate_error("TRACE-SCHEMA", str(exc))
+        print(obs.render_analysis_comparison(other, analysis))
+    elif args.format == "json":
+        print(json.dumps(analysis, indent=1, sort_keys=True))
+    else:
+        print(obs.render_analysis_text(analysis))
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(analysis, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"analytics written to {args.output}", file=sys.stderr)
+    if args.bench_output:
+        payload = obs.analysis_bench_payload(analysis)
+        with open(args.bench_output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"bench metrics written to {args.bench_output}", file=sys.stderr)
+    return gate_exit_code([], args.fail_on)
 
 
 def _cmd_perf(args) -> int:
@@ -679,6 +771,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_experiment(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "perf":
         return _cmd_perf(args)
     if args.command == "bench":

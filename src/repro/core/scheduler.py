@@ -53,7 +53,7 @@ class SpecSyncScheduler:
         tuner: HyperparamTuner,
         schedule_fn: Callable[[float, Callable], None],
         now_fn: Callable[[], float],
-        send_resync_fn: Callable[[int, int], None],
+        send_resync_fn: Callable[[int, int, int], None],
         span_window: int = 8,
         tracer: Optional[TracerLike] = None,
         profiler: Optional[ProfilerLike] = None,
@@ -231,7 +231,10 @@ class SpecSyncScheduler:
                 "(%.6g, %.6g] >= threshold %.3g",
                 worker_id, iteration, count, window_start, now, threshold,
             )
-            self._send_resync(worker_id, iteration)
+            # The triggering peer-push count travels with the re-sync so
+            # the abort instant (and the analytics ledger) can attribute
+            # the decision without reconstructing the window.
+            self._send_resync(worker_id, iteration, count)
 
     def _trace_resync_decision(
         self,

@@ -131,18 +131,18 @@ class SpecSyncPolicy(SyncPolicy):
             on_delivery=lambda msg: self.scheduler.handle_notify(*msg.payload),
         )
 
-    def _send_resync(self, worker_id: int, iteration: int) -> None:
+    def _send_resync(self, worker_id: int, iteration: int, peer_pushes: int) -> None:
         self.engine.send_control(
             kind=MessageKind.RESYNC,
             src=SCHEDULER_NODE,
             dst=self.engine.worker_node(worker_id),
-            payload=(worker_id, iteration),
+            payload=(worker_id, iteration, peer_pushes),
             on_delivery=self._deliver_resync,
         )
 
     def _deliver_resync(self, msg) -> None:
-        worker_id, iteration = msg.payload
-        if self.engine.request_resync(worker_id, iteration):
+        worker_id, iteration, peer_pushes = msg.payload
+        if self.engine.request_resync(worker_id, iteration, peer_pushes):
             self._resyncs_honored += 1
 
     # ------------------------------------------------------------------

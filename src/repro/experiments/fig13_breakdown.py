@@ -4,11 +4,15 @@ Splits the total transfer of an Adaptive run into parameter pulls, gradient
 pushes, and SpecSync control traffic (notify / re-sync / acks), per
 workload.  The control share should be negligible — the property that makes
 the centralized-scheduler design viable (paper Section V-A).
+
+Each run is also traced and fed through :mod:`repro.obs.analysis`, so the
+table is accompanied by a per-scheme critical-path/wasted-work breakdown
+(ASP vs SSP vs Adaptive) on the same seeds.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from repro.cluster.spec import ClusterSpec
@@ -19,6 +23,9 @@ from repro.workloads.presets import PAPER_WORKLOADS
 
 __all__ = ["Fig13Result", "run_fig13"]
 
+#: schemes the analytics table compares (the paper's headline trio)
+_ANALYTICS_SCHEMES = ("original", "ssp", "adaptive")
+
 
 @dataclass
 class Fig13Result:
@@ -26,6 +33,9 @@ class Fig13Result:
     breakdown: Dict[str, Dict[str, float]]
     #: workload -> fine-grained per-kind bytes
     by_kind: Dict[str, Dict[str, float]]
+    #: workload -> scheme -> trace-analytics summary (critical-path
+    #: categories, abort/wasted-work totals); empty when tracing failed
+    analytics: Dict[str, Dict[str, dict]] = field(default_factory=dict)
 
     def control_fraction(self, workload: str) -> float:
         per_cat = self.breakdown[workload]
@@ -47,7 +57,29 @@ class Fig13Result:
                     f"{self.control_fraction(workload):.4%}",
                 ]
             )
-        return table.render()
+        sections = [table.render()]
+        for workload, per_scheme in self.analytics.items():
+            analytics = TextTable(
+                ["Scheme", "Compute s", "Network s", "Sync-wait s",
+                 "Wasted s", "Aborts", "Gain/abort"],
+                title=f"{workload}: per-scheme critical-path analytics",
+            )
+            for scheme, summary in per_scheme.items():
+                by_cat = summary["by_category"]
+                gain = summary.get("mean_realized_gain")
+                analytics.add_row(
+                    [
+                        scheme,
+                        f"{by_cat.get('compute', 0.0):.4g}",
+                        f"{by_cat.get('network', 0.0):.4g}",
+                        f"{by_cat.get('sync_wait', 0.0):.4g}",
+                        f"{summary.get('aborted_compute_s', 0.0):.4g}",
+                        str(summary.get("total_aborts", 0)),
+                        f"{gain:.3g}" if gain is not None else "-",
+                    ]
+                )
+            sections.append(analytics.render())
+        return "\n\n".join(sections)
 
 
 def run_fig13(
@@ -64,12 +96,49 @@ def run_fig13(
 
     breakdown: Dict[str, Dict[str, float]] = {}
     by_kind: Dict[str, Dict[str, float]] = {}
+    analytics: Dict[str, Dict[str, dict]] = {}
     for workload in workloads:
         catalog = scheme_catalog(workload.name)
         result = run_scheme(workload, cluster, catalog["adaptive"], seed=seed)
         breakdown[workload.name] = result.ledger.bytes_by_category()
         by_kind[workload.name] = result.ledger.bytes_by_kind()
-    return Fig13Result(breakdown=breakdown, by_kind=by_kind)
+        analytics[workload.name] = {
+            scheme: _traced_analytics(workload, cluster, catalog[scheme], seed)
+            for scheme in _ANALYTICS_SCHEMES
+        }
+    return Fig13Result(
+        breakdown=breakdown, by_kind=by_kind, analytics=analytics
+    )
+
+
+def _traced_analytics(workload, cluster, spec, seed: int) -> dict:
+    """One traced run of ``spec``, reduced to the analytics summary row.
+
+    Reuses an ambient collector when the whole experiment is being traced
+    (``repro experiment fig13 --trace``) — each engine run appends a new
+    run segment, so the analysis of the most recent segment is this run's.
+    """
+    from repro import obs
+    from repro.obs.analysis import analyze_trace
+
+    active = obs.current_collector()
+    if active is not None:
+        run_scheme(workload, cluster, spec, seed=seed)
+        trace = obs.to_chrome_trace(active)
+    else:
+        collector = obs.TraceCollector()
+        with obs.collecting(collector):
+            run_scheme(workload, cluster, spec, seed=seed)
+        trace = obs.to_chrome_trace(collector)
+    run = analyze_trace(trace)["runs"][-1]
+    ledger = run["ledger"]
+    return {
+        "by_category": run["critical_path"]["by_category"],
+        "total_s": run["critical_path"]["total_s"],
+        "total_aborts": ledger["total_aborts"],
+        "aborted_compute_s": ledger["total_aborted_compute_s"],
+        "mean_realized_gain": ledger["mean_realized_gain"],
+    }
 
 
 if __name__ == "__main__":

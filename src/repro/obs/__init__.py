@@ -35,6 +35,16 @@ from repro.obs.core import (
     enable,
     tracer_for,
 )
+from repro.obs.analysis import (
+    ANALYSIS_SCHEMA_VERSION,
+    ATTRIBUTION_CATEGORIES,
+    AnalysisError,
+    CausalGraph,
+    analysis_bench_payload,
+    analyze_trace,
+    render_analysis_comparison,
+    render_analysis_text,
+)
 from repro.obs.log import (
     VirtualTimeLoggerAdapter,
     attach_cli_handler,
@@ -115,6 +125,14 @@ __all__ = [
     "TRACE_FORMAT_VERSION",
     "to_chrome_trace",
     "write_chrome_trace",
+    "ANALYSIS_SCHEMA_VERSION",
+    "ATTRIBUTION_CATEGORIES",
+    "AnalysisError",
+    "CausalGraph",
+    "analysis_bench_payload",
+    "analyze_trace",
+    "render_analysis_comparison",
+    "render_analysis_text",
     "TraceSummary",
     "load_trace",
     "render_summary",

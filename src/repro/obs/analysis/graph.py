@@ -1,0 +1,324 @@
+"""Causal-graph reconstruction from exported Chrome trace-event JSON.
+
+The exporter (:mod:`repro.obs.perfetto`) lays one Perfetto process per
+clock domain and one thread per track; this module inverts that layout:
+``M`` metadata events rebuild the (pid, tid) → (domain, track) map,
+complete spans and instants come back in seconds, and ``s``/``f`` flow
+pairs are re-joined by id into causal arrows.
+
+Because several engines may share one collector (``repro compare
+--trace`` runs every scheme back to back, each restarting virtual time
+at 0), the event stream is segmented into :class:`RunSegment` objects on
+the ``run_start`` instants the engine emits; traces captured before
+those markers existed fall back to a single implicit segment per clock
+domain.
+
+Malformed causality is a hard error, not a silent skip: a flow finish
+with no matching start (or a start that never finishes) means the trace
+cannot support attribution, and :class:`AnalysisError` says exactly
+which id broke.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "AnalysisError",
+    "AnalyzedSpan",
+    "AnalyzedInstant",
+    "AnalyzedFlow",
+    "RunSegment",
+    "CausalGraph",
+    "WORKER_TRACK_RE",
+]
+
+_US_TO_S = 1e-6
+
+#: Worker tracks in both namespaces (DES ``worker-N``, runtime
+#: ``rt.worker-N``) — everything else is infrastructure (server,
+#: scheduler, network).
+WORKER_TRACK_RE = re.compile(r"^(?:rt\.)?worker-(\d+)$")
+
+
+class AnalysisError(ValueError):
+    """The trace cannot support causal analysis (schema/causality defect)."""
+
+
+@dataclass(frozen=True)
+class AnalyzedSpan:
+    """One complete span, back in seconds on a named track."""
+
+    track: str
+    name: str
+    cat: str
+    start: float
+    end: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class AnalyzedInstant:
+    """One point event on a named track."""
+
+    track: str
+    name: str
+    cat: str
+    ts: float
+    args: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AnalyzedFlow:
+    """One causal arrow (flow pair re-joined by id)."""
+
+    name: str
+    cat: str
+    src_track: str
+    src_ts: float
+    dst_track: str
+    dst_ts: float
+    args: dict = field(default_factory=dict)
+
+
+@dataclass
+class RunSegment:
+    """One engine run's worth of events on one clock domain."""
+
+    index: int
+    domain: str
+    #: the ``run_start`` instant's args (workload/scheme/seed/workers/
+    #: horizon_s), or the trace's ``otherData`` for implicit segments
+    meta: Dict[str, object] = field(default_factory=dict)
+    #: the matching ``run_end`` instant's args, when present
+    end_meta: Dict[str, object] = field(default_factory=dict)
+    spans: List[AnalyzedSpan] = field(default_factory=list)
+    instants: List[AnalyzedInstant] = field(default_factory=list)
+    flows: List[AnalyzedFlow] = field(default_factory=list)
+    #: explicit run boundaries (run_start/run_end instants), when present
+    start_ts: Optional[float] = None
+    end_ts: Optional[float] = None
+
+    @property
+    def explicit(self) -> bool:
+        """True when the segment came from a ``run_start`` marker."""
+        return self.start_ts is not None
+
+    def worker_tracks(self) -> List[str]:
+        """Worker tracks present, sorted by worker id."""
+        tracks = {s.track for s in self.spans} | {i.track for i in self.instants}
+        workers = []
+        for track in tracks:
+            match = WORKER_TRACK_RE.match(track)
+            if match:
+                workers.append((int(match.group(1)), track))
+        return [track for _id, track in sorted(workers)]
+
+    def window(self) -> Tuple[float, float]:
+        """The analysis window ``[start, end]`` in seconds.
+
+        Explicit segments use the run markers (the run's virtual
+        duration); implicit ones span the observed events.
+        """
+        if self.start_ts is not None:
+            end = self.end_ts
+            if end is None:
+                end = max(
+                    [self.start_ts]
+                    + [s.end for s in self.spans]
+                    + [i.ts for i in self.instants]
+                )
+            return (self.start_ts, end)
+        starts = [s.start for s in self.spans] + [i.ts for i in self.instants]
+        ends = [s.end for s in self.spans] + [i.ts for i in self.instants]
+        if not starts:
+            return (0.0, 0.0)
+        return (min(starts), max(ends))
+
+    @property
+    def duration_s(self) -> float:
+        start, end = self.window()
+        return end - start
+
+    def track_spans(self, track: str) -> List[AnalyzedSpan]:
+        """Spans on one track, ordered by start time."""
+        return sorted(
+            (s for s in self.spans if s.track == track),
+            key=lambda s: (s.start, s.end),
+        )
+
+    def named_instants(self, name: str, track: Optional[str] = None) -> List[AnalyzedInstant]:
+        """Instants with ``name`` (optionally restricted to one track)."""
+        return [
+            i for i in self.instants
+            if i.name == name and (track is None or i.track == track)
+        ]
+
+
+@dataclass
+class CausalGraph:
+    """Every run segment reconstructed from one trace file."""
+
+    runs: List[RunSegment] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+    format_version: Optional[int] = None
+
+    @classmethod
+    def from_trace(cls, trace: dict) -> "CausalGraph":
+        """Rebuild the causal graph from a parsed trace-event object.
+
+        Raises:
+            AnalysisError: on structural defects — missing/foreign
+                ``traceEvents``, events on unnamed threads, or flow
+                pairs with a missing parent.
+        """
+        events = trace.get("traceEvents")
+        if not isinstance(events, list):
+            raise AnalysisError(
+                "not a Chrome trace-event object (missing 'traceEvents' list)"
+            )
+        metadata = trace.get("otherData", {})
+        if not isinstance(metadata, dict):
+            raise AnalysisError("'otherData' must be an object")
+        format_version = metadata.get("format_version")
+        if format_version is not None and not isinstance(format_version, int):
+            raise AnalysisError(
+                f"non-integer format_version {format_version!r}"
+            )
+
+        domains: Dict[int, str] = {}
+        tracks: Dict[Tuple[int, int], str] = {}
+        for event in events:
+            if event.get("ph") != "M":
+                continue
+            if event.get("name") == "process_name":
+                label = str(event.get("args", {}).get("name", ""))
+                # the exporter names processes "<domain> time"
+                domains[event["pid"]] = (
+                    label[: -len(" time")] if label.endswith(" time") else label
+                )
+            elif event.get("name") == "thread_name":
+                tracks[(event["pid"], event["tid"])] = str(
+                    event.get("args", {}).get("name", "")
+                )
+
+        graph = cls(metadata=dict(metadata), format_version=format_version)
+        #: current segment per domain (created lazily / on run_start)
+        current: Dict[str, RunSegment] = {}
+        #: open flow starts by id: (segment, name, cat, track, ts, args)
+        open_flows: Dict[object, Tuple[RunSegment, str, str, str, float, dict]] = {}
+
+        def _track_of(event: dict) -> str:
+            key = (event.get("pid"), event.get("tid"))
+            track = tracks.get(key)
+            if track is None:
+                raise AnalysisError(
+                    f"event {event.get('name')!r} on unnamed thread "
+                    f"pid={key[0]} tid={key[1]} (missing thread_name metadata)"
+                )
+            return track
+
+        def _domain_of(event: dict) -> str:
+            return domains.get(event.get("pid"), f"pid-{event.get('pid')}")
+
+        def _segment_for(event: dict) -> RunSegment:
+            domain = _domain_of(event)
+            segment = current.get(domain)
+            if segment is None:
+                segment = RunSegment(
+                    index=len(graph.runs), domain=domain,
+                    meta={
+                        k: v for k, v in graph.metadata.items()
+                        if k != "format_version"
+                    },
+                )
+                graph.runs.append(segment)
+                current[domain] = segment
+            return segment
+
+        for event in events:
+            phase = event.get("ph")
+            if phase == "M":
+                continue
+            if phase == "X":
+                start = float(event.get("ts", 0.0)) * _US_TO_S
+                end = start + float(event.get("dur", 0.0)) * _US_TO_S
+                _segment_for(event).spans.append(
+                    AnalyzedSpan(
+                        track=_track_of(event),
+                        name=str(event.get("name", "")),
+                        cat=str(event.get("cat", "")),
+                        start=start,
+                        end=end,
+                        args=dict(event.get("args") or {}),
+                    )
+                )
+            elif phase == "i":
+                ts = float(event.get("ts", 0.0)) * _US_TO_S
+                name = str(event.get("name", ""))
+                args = dict(event.get("args") or {})
+                domain = _domain_of(event)
+                if name == "run_start":
+                    segment = RunSegment(
+                        index=len(graph.runs), domain=domain,
+                        meta=args, start_ts=ts,
+                    )
+                    graph.runs.append(segment)
+                    current[domain] = segment
+                segment = _segment_for(event)
+                if name == "run_end":
+                    segment.end_meta = args
+                    segment.end_ts = ts
+                segment.instants.append(
+                    AnalyzedInstant(
+                        track=_track_of(event), name=name,
+                        cat=str(event.get("cat", "")), ts=ts, args=args,
+                    )
+                )
+            elif phase == "s":
+                flow_id = event.get("id")
+                if flow_id in open_flows:
+                    raise AnalysisError(
+                        f"duplicate flow start id={flow_id!r}"
+                    )
+                open_flows[flow_id] = (
+                    _segment_for(event),
+                    str(event.get("name", "")),
+                    str(event.get("cat", "")),
+                    _track_of(event),
+                    float(event.get("ts", 0.0)) * _US_TO_S,
+                    dict(event.get("args") or {}),
+                )
+            elif phase == "f":
+                flow_id = event.get("id")
+                start = open_flows.pop(flow_id, None)
+                if start is None:
+                    raise AnalysisError(
+                        f"flow finish id={flow_id!r} has no matching start "
+                        "(missing parent)"
+                    )
+                segment, name, cat, src_track, src_ts, args = start
+                segment.flows.append(
+                    AnalyzedFlow(
+                        name=name, cat=cat,
+                        src_track=src_track, src_ts=src_ts,
+                        dst_track=_track_of(event),
+                        dst_ts=float(event.get("ts", 0.0)) * _US_TO_S,
+                        args=args,
+                    )
+                )
+            # other phases (counter events etc.) are not produced by our
+            # exporter; ignore them so foreign-but-valid traces still load
+        if open_flows:
+            ids = ", ".join(repr(i) for i in sorted(open_flows, key=repr)[:5])
+            raise AnalysisError(
+                f"{len(open_flows)} flow start(s) never finished "
+                f"(dangling ids: {ids})"
+            )
+        return graph

@@ -139,6 +139,10 @@ class TraceCollector:
         """Remember a causal source until ``close_flows(key)`` lands."""
         with self._flow_lock:
             self._pending_flows.setdefault(key, []).append(origin)
+        # Flow accounting: every origin is either closed into an arrow,
+        # discarded (late re-sync), or still pending at export.  Lazily
+        # created so empty collections stay metric-free.
+        self.metrics.counter("obs.flow_origins_registered").inc()
 
     def close_flows(
         self, key: FlowKey, domain: str, track: str, ts: float
@@ -151,6 +155,8 @@ class TraceCollector:
         """
         with self._flow_lock:
             origins = self._pending_flows.pop(key, [])
+        if origins:
+            self.metrics.counter("obs.flow_arrows_closed").inc(len(origins))
         for origin in origins:
             self.records.append(
                 FlowRecord(
@@ -169,7 +175,9 @@ class TraceCollector:
     def discard_flows(self, key: FlowKey) -> None:
         """Drop pending origins under ``key`` without exporting them."""
         with self._flow_lock:
-            self._pending_flows.pop(key, None)
+            dropped = self._pending_flows.pop(key, None)
+        if dropped:
+            self.metrics.counter("obs.flow_origins_discarded").inc(len(dropped))
 
     @property
     def pending_flow_count(self) -> int:

@@ -112,6 +112,45 @@ def _render_reports(reports: Dict[str, dict]) -> str:
     return "\n".join(lines)
 
 
+def _render_breakdown(trace: dict) -> Optional[str]:
+    """Critical-path attribution per run, from the causal analytics.
+
+    Imported lazily and allowed to fail soft: the perf dashboard must
+    still render for traces whose event stream cannot support causal
+    analysis (the analytics have their own strict entry point,
+    ``repro analyze``).
+    """
+    from repro.obs.analysis import (
+        ATTRIBUTION_CATEGORIES,
+        AnalysisError,
+        analyze_trace,
+    )
+
+    try:
+        analysis = analyze_trace(trace)
+    except AnalysisError as exc:
+        return f"trace analytics unavailable: {exc}"
+    runs = [run for run in analysis["runs"] if run["critical_path"]["track"]]
+    if not runs:
+        return None
+    table = TextTable(
+        ["run", "total s"]
+        + [c.replace("_", "-") for c in ATTRIBUTION_CATEGORIES],
+        title="critical-path breakdown (see `repro analyze` for detail)",
+    )
+    for run in runs:
+        path = run["critical_path"]
+        label = f"{run.get('scheme') or 'run ' + str(run['index'])}"
+        table.add_row(
+            [label, f"{path['total_s']:.6g}"]
+            + [
+                f"{path['by_category'].get(c, 0.0):.4g}"
+                for c in ATTRIBUTION_CATEGORIES
+            ]
+        )
+    return table.render()
+
+
 def render_perf_report(trace: dict) -> str:
     """Render the perf dashboard for a parsed trace object.
 
@@ -124,6 +163,10 @@ def render_perf_report(trace: dict) -> str:
         f"{key}={metadata[key]}" for key in sorted(metadata)
     )
     sections.append(f"perf report ({context})" if context else "perf report")
+
+    breakdown = _render_breakdown(trace)
+    if breakdown:
+        sections.append(breakdown)
 
     perf = trace.get("perf")
     if not isinstance(perf, dict):

@@ -29,6 +29,8 @@ class TraceSummary:
     #: flow name -> complete (start, finish) pair count
     flows: Dict[str, int] = field(default_factory=dict)
     unpaired_flows: int = 0
+    #: track name -> abort instants observed on it
+    aborts_by_track: Dict[str, int] = field(default_factory=dict)
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
     histograms: Dict[str, dict] = field(default_factory=dict)
@@ -40,6 +42,19 @@ class TraceSummary:
     def abort_flow_pairs(self) -> int:
         """Complete causal arrows in the abort category."""
         return self.flows.get("abort", 0)
+
+    @property
+    def flow_accounting(self) -> Dict[str, float]:
+        """Collector-side flow lifecycle counts (emitted/closed/discarded).
+
+        Read from the ``obs.flow_*`` counters the collector maintains;
+        older traces simply report zeros.
+        """
+        return {
+            "emitted": self.counters.get("obs.flow_origins_registered", 0),
+            "closed": self.counters.get("obs.flow_arrows_closed", 0),
+            "discarded": self.counters.get("obs.flow_origins_discarded", 0),
+        }
 
     @property
     def empty(self) -> bool:
@@ -74,18 +89,29 @@ def summarize_trace(trace: dict) -> TraceSummary:
     summary.total_events = len(events)
     open_flows: Dict[object, str] = {}
     tracks = set()
+    track_names: Dict[Tuple[object, object], str] = {}
     for event in events:
         phase = event.get("ph")
         name = event.get("name", "<unnamed>")
         if phase == "M":
             if name == "thread_name":
-                tracks.add((event.get("pid"), event.get("tid")))
+                key = (event.get("pid"), event.get("tid"))
+                tracks.add(key)
+                track_names[key] = str(event.get("args", {}).get("name", ""))
             continue
         if phase == "X":
             count, dur = summary.spans.get(name, (0, 0.0))
             summary.spans[name] = (count + 1, dur + float(event.get("dur", 0.0)))
         elif phase == "i":
             summary.instants[name] = summary.instants.get(name, 0) + 1
+            if name == "abort":
+                track = track_names.get(
+                    (event.get("pid"), event.get("tid")),
+                    f"pid-{event.get('pid')}.tid-{event.get('tid')}",
+                )
+                summary.aborts_by_track[track] = (
+                    summary.aborts_by_track.get(track, 0) + 1
+                )
         elif phase == "s":
             open_flows[event.get("id")] = name
         elif phase == "f":
@@ -203,5 +229,18 @@ def render_summary(summary: TraceSummary) -> str:
             causality += f", {other_pairs} other"
         if summary.unpaired_flows:
             causality += f", {summary.unpaired_flows} unpaired"
+        accounting = summary.flow_accounting
+        if any(accounting.values()):
+            causality += (
+                f"; flow origins: {accounting['emitted']:g} emitted, "
+                f"{accounting['closed']:g} closed, "
+                f"{accounting['discarded']:g} discarded"
+            )
         lines.append(causality)
+        if summary.aborts_by_track:
+            aborts = ", ".join(
+                f"{track}={summary.aborts_by_track[track]}"
+                for track in sorted(summary.aborts_by_track)
+            )
+            lines.append(f"aborts by track: {aborts}")
     return "\n\n".join(lines)

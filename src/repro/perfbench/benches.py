@@ -93,7 +93,7 @@ def _bench_scheduler(scale: str) -> BenchResult:
         ),
         schedule_fn=lambda delay, fn: pending.append((clock[0] + delay, fn)),
         now_fn=lambda: clock[0],
-        send_resync_fn=lambda worker, iteration: resyncs.__setitem__(
+        send_resync_fn=lambda worker, iteration, peer_pushes: resyncs.__setitem__(
             0, resyncs[0] + 1
         ),
     )

@@ -288,8 +288,17 @@ class TrainingEngine:
         if not self._stopped:
             self._schedule_pull(worker)
 
-    def request_resync(self, worker_id: int, for_iteration: int) -> bool:
+    def request_resync(
+        self,
+        worker_id: int,
+        for_iteration: int,
+        peer_pushes: Optional[int] = None,
+    ) -> bool:
         """Abort ``worker_id``'s in-flight iteration and have it re-pull.
+
+        ``peer_pushes`` is the triggering peer-push count from the
+        scheduler's decision; it rides on the abort instant so trace
+        analytics need no heuristic reconstruction of the cause.
 
         Returns False (no abort) when the worker already moved past
         ``for_iteration``, is not computing, or exhausted its abort budget —
@@ -320,9 +329,12 @@ class TrainingEngine:
                 args={"iteration": worker.iteration, "aborted": True,
                       "wasted_s": round(wasted, 9)},
             )
+            abort_args = {"iteration": worker.iteration,
+                          "wasted_s": round(wasted, 9)}
+            if peer_pushes is not None:
+                abort_args["peer_pushes"] = peer_pushes
             self.tracer.instant(
-                worker.track, "abort", cat="abort",
-                args={"iteration": worker.iteration},
+                worker.track, "abort", cat="abort", args=abort_args,
             )
             self.tracer.flow_end(
                 resync_flow_key(worker_id, for_iteration), worker.track
@@ -375,6 +387,18 @@ class TrainingEngine:
             self.workload_name, self.policy.name, self.num_workers,
             self.config.horizon_s,
         )
+        if self.tracer.enabled:
+            # Run boundary markers: several engines may share one collector
+            # (repro compare --trace), each restarting virtual time at 0 —
+            # the analyzer segments the event stream on these instants.
+            self.tracer.instant(
+                SERVER_TRACK, "run_start", cat="run",
+                args={"workload": self.workload_name,
+                      "scheme": self.policy.name,
+                      "seed": self.seed,
+                      "workers": self.num_workers,
+                      "horizon_s": self.config.horizon_s},
+            )
         for worker in self.workers:
             self._start_next_iteration(worker)
         self._schedule_eval()
@@ -387,6 +411,12 @@ class TrainingEngine:
                     "straggler": self._straggler.report(),
                     "abort_storm": self._abort_storm.report(),
                 },
+            )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                SERVER_TRACK, "run_end", cat="run",
+                args={"total_iterations": self.store.version,
+                      "total_aborts": sum(w.aborts for w in self.workers)},
             )
         self._log.info(
             "run end: %d iterations, %d aborts, %d events fired",

@@ -296,7 +296,7 @@ class MultiprocessRun:
         if self.tuner is not None:
             from repro.runtime.threaded import _ThreadSafeScheduler
 
-            def send_resync(worker_id: int, iteration: int) -> None:
+            def send_resync(worker_id: int, iteration: int, peer_pushes: int) -> None:
                 if tracer.enabled:
                     # Close the scheduler's staged causal flow at the moment
                     # the abort signal crosses into the worker process.
@@ -306,7 +306,8 @@ class MultiprocessRun:
                     )
                     tracer.instant(
                         rt_worker_track(worker_id), "resync_signal",
-                        cat="abort", args={"worker": worker_id},
+                        cat="abort", args={"worker": worker_id,
+                                           "peer_pushes": peer_pushes},
                     )
                 abort_events[worker_id].set()
 

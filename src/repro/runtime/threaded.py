@@ -254,13 +254,21 @@ class ThreadedWorker(threading.Thread):
         self.abort_event = threading.Event()
         self.iterations = 0
         self.aborts = 0
+        self._last_resync_peer_pushes: Optional[int] = None
 
-    def request_resync(self) -> None:
-        """Called by the scheduler adapter: abort the in-flight computation."""
+    def request_resync(self, peer_pushes: Optional[int] = None) -> None:
+        """Called by the scheduler adapter: abort the in-flight computation.
+
+        ``peer_pushes`` (the triggering count from the scheduler's
+        decision) is stored so the worker-side abort instant can carry it;
+        the read is racy against a concurrent abort but only decorates
+        observability output, never control flow.
+        """
+        self._last_resync_peer_pushes = peer_pushes
         if self.tracer.enabled:
             self.tracer.instant(
                 self.track, "resync_signal", cat="abort",
-                args={"worker": self.worker_id},
+                args={"worker": self.worker_id, "peer_pushes": peer_pushes},
             )
         self.abort_event.set()
 
@@ -282,6 +290,7 @@ class ThreadedWorker(threading.Thread):
                 duration = (
                     self.compute_model.sample(self.compute_rng) * self.time_scale
                 )
+                compute_started = time.monotonic()
                 interrupted = self.abort_event.wait(timeout=duration)
                 if self.stop_event.is_set():
                     return
@@ -290,9 +299,12 @@ class ThreadedWorker(threading.Thread):
                     # restart the same batch (Algorithm 2, worker lines 5-7).
                     self.abort_event.clear()
                     if self.tracer.enabled:
+                        wasted = time.monotonic() - compute_started
                         self.tracer.instant(
                             self.track, "abort", cat="abort",
-                            args={"worker": self.worker_id},
+                            args={"worker": self.worker_id,
+                                  "wasted_s": round(wasted, 9),
+                                  "peer_pushes": self._last_resync_peer_pushes},
                         )
                         self.tracer.count("rt.aborts")
                     with self.tracer.measure(self.track, "pull"):
@@ -389,7 +401,7 @@ class ThreadedRun:
             for i, partition in enumerate(partitions)
         ]
 
-    def _send_resync(self, worker_id: int, iteration: int) -> None:
+    def _send_resync(self, worker_id: int, iteration: int, peer_pushes: int) -> None:
         # The threaded worker guards against late re-syncs itself (the
         # abort flag is cleared at each iteration boundary), so the
         # iteration tag needs no extra check here.
@@ -399,7 +411,7 @@ class ThreadedRun:
             self.tracer.flow_end(
                 resync_flow_key(worker_id, iteration), rt_worker_track(worker_id)
             )
-        self.workers[worker_id].request_resync()
+        self.workers[worker_id].request_resync(peer_pushes)
 
     def run(self, duration_s: float = 0.5) -> ThreadedRunResult:
         """Run all workers for ``duration_s`` wall seconds, then stop.

@@ -414,6 +414,103 @@ class TestTraceCapture:
         assert main(["trace", str(bogus)]) == 2
         assert "traceEvents" in capsys.readouterr().err
 
+    def test_trace_json_reports_flow_accounting_and_aborts(
+        self, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["run", "--workload", "tiny", "--workers", "3", "--seed", "3",
+             "--scheme", "adaptive", "--horizon", "30",
+             "--trace", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        accounting = summary["flow_accounting"]
+        assert accounting["emitted"] > 0
+        assert accounting["closed"] + accounting["discarded"] <= (
+            accounting["emitted"]
+        )
+        aborts = summary["aborts_by_track"]
+        assert aborts and all(t.startswith("worker-") for t in aborts)
+        assert sum(aborts.values()) == summary["instants"]["abort"]
+
+
+class TestAnalyzeCommand:
+    """`repro analyze` — the causal analytics entry point."""
+
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("analyze") / "trace.json"
+        assert main(
+            ["run", "--workload", "tiny", "--workers", "3", "--seed", "3",
+             "--scheme", "adaptive", "--horizon", "30",
+             "--trace", str(path)]
+        ) == 0
+        return path
+
+    def test_text_report(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["analyze", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path attribution" in out
+        assert "speculation ledger" in out
+        assert "staleness of applied pushes" in out
+
+    def test_json_output_and_bench_bridge(self, trace_path, tmp_path, capsys):
+        out_path = tmp_path / "analysis.json"
+        bench_path = tmp_path / "BENCH_analysis.json"
+        capsys.readouterr()
+        assert main(
+            ["analyze", str(trace_path), "--format", "json",
+             "--output", str(out_path), "--bench-output", str(bench_path)]
+        ) == 0
+        printed = json.loads(capsys.readouterr().out)
+        saved = json.loads(out_path.read_text(encoding="utf-8"))
+        assert printed == saved
+        assert saved["schema_version"] == 1
+        (run,) = saved["runs"]
+        total = sum(run["critical_path"]["by_category"].values())
+        assert abs(total - run["critical_path"]["total_s"]) <= (
+            0.01 * run["critical_path"]["total_s"]
+        )
+        # the bench file round-trips through the shared regression gate
+        assert main(
+            ["bench", "--compare", str(bench_path), str(bench_path)]
+        ) == 0
+
+    def test_compare_accepts_saved_analysis(self, trace_path, tmp_path, capsys):
+        out_path = tmp_path / "analysis.json"
+        assert main(
+            ["analyze", str(trace_path), "--format", "json",
+             "--output", str(out_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["analyze", str(trace_path), "--compare", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "critical-path attribution deltas" in out
+        assert "+0" in out
+
+    def test_parse_error_trips_the_gate(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("not json", encoding="utf-8")
+        assert main(["analyze", str(bogus)]) == 1
+        assert "TRACE-PARSE" in capsys.readouterr().out
+
+    def test_schema_error_trips_the_gate(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"not": "a trace"}', encoding="utf-8")
+        assert main(["analyze", str(bogus)]) == 1
+        assert "TRACE-SCHEMA" in capsys.readouterr().out
+
+    def test_fail_on_never_reports_without_failing(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("not json", encoding="utf-8")
+        assert main(["analyze", str(bogus), "--fail-on", "never"]) == 0
+        assert "TRACE-PARSE" in capsys.readouterr().out
+
     def test_verbose_flag_logs_progress(self, capsys):
         import logging
 

@@ -50,7 +50,7 @@ class TestSchedulerProperties:
             tuner=FixedTuner(SpecSyncHyperparams(1.0, 0.3)),
             schedule_fn=clock.schedule,
             now_fn=lambda: clock.now,
-            send_resync_fn=lambda w, i: resyncs.append((w, i)),
+            send_resync_fn=lambda w, i, n: resyncs.append((w, i)),
         )
         notifies = 0
         for gap, worker in sequence:
@@ -79,7 +79,7 @@ class TestSchedulerProperties:
             tuner=AdaptiveTuner(),
             schedule_fn=clock.schedule,
             now_fn=lambda: clock.now,
-            send_resync_fn=lambda w, i: None,
+            send_resync_fn=lambda w, i, n: None,
         )
         for gap, worker in sequence:
             clock.drain_until(clock.now + gap)
@@ -107,7 +107,7 @@ class TestSchedulerProperties:
                 tuner=FixedTuner(SpecSyncHyperparams(1.0, rate)),
                 schedule_fn=clock.schedule,
                 now_fn=lambda: clock.now,
-                send_resync_fn=lambda w, i: None,
+                send_resync_fn=lambda w, i, n: None,
             )
             for gap, worker in sequence:
                 clock.drain_until(clock.now + gap)

@@ -34,7 +34,7 @@ def make_scheduler(num_workers=4, abort_time=1.0, abort_rate=0.5, tuner=None):
         tuner=tuner or FixedTuner(SpecSyncHyperparams(abort_time, abort_rate)),
         schedule_fn=clock.schedule,
         now_fn=lambda: clock.now,
-        send_resync_fn=lambda w, i: resyncs.append((w, i, clock.now)),
+        send_resync_fn=lambda w, i, n: resyncs.append((w, i, clock.now)),
     )
     return scheduler, clock, resyncs
 
@@ -156,7 +156,7 @@ class TestValidation:
                 tuner=FixedTuner(SpecSyncHyperparams(1.0, 0.1)),
                 schedule_fn=lambda d, f: None,
                 now_fn=lambda: 0.0,
-                send_resync_fn=lambda w, i: None,
+                send_resync_fn=lambda w, i, n: None,
             )
 
     def test_summary_counts(self):
