@@ -1,6 +1,6 @@
 """Rule packs and the default registry.
 
-Five packs, one per failure class the reproduction cannot afford:
+Six packs, one per failure class the reproduction cannot afford:
 
 * :mod:`repro.analysis.rules.determinism` — stray wall clocks, global
   RNG, unordered-set iteration, mutable defaults, lying annotations;
@@ -17,7 +17,14 @@ Five packs, one per failure class the reproduction cannot afford:
   (allocation/copies/lookups on the measured hot path).  **Opt-in**:
   perf findings are advisory (info severity) until a ``--profile``
   capture proves them hot, so the pack runs via ``--pack perf`` rather
-  than in the default gate.
+  than in the default gate;
+* :mod:`repro.analysis.rules.ownership` — buffer ownership & aliasing
+  (BUF-*): in-place mutation of borrowed arrays, views of internal
+  state escaping public APIs, caller arrays stored without copy, and
+  unfenced shared-memory access — the pack that certifies the
+  zero-copy ``repro.ps.shm`` parameter path.  **Opt-in**: it reasons
+  about array-typed code only, so CI runs it as a dedicated
+  ``--pack ownership`` gate rather than in the default self-lint.
 
 To add a rule: subclass :class:`repro.analysis.engine.Rule`, give it a
 unique ``rule_id``, implement ``check_module`` (per-file) or
@@ -48,6 +55,12 @@ from repro.analysis.rules.flow import (
     DeadPathRule,
     ExceptionEscapeRule,
     ReleaseOnAllPathsRule,
+)
+from repro.analysis.rules.ownership import (
+    BufAliasStoreRule,
+    BufMutateBorrowedRule,
+    BufReturnViewRule,
+    BufShmUnfencedRule,
 )
 from repro.analysis.rules.perf import (
     AllocHotRule,
@@ -110,12 +123,20 @@ RULE_PACKS: Dict[str, Tuple[Type[Rule], ...]] = {
         LogHotRule,
         ScanRule,
     ),
+    "ownership": (
+        BufMutateBorrowedRule,
+        BufReturnViewRule,
+        BufAliasStoreRule,
+        BufShmUnfencedRule,
+    ),
 }
 
 #: Packs that only run when explicitly selected.  The perf rules are
 #: advisory heuristics ranked by measured hot-path data; folding them
 #: into the default (self-lint) gate would fail CI on cold-path noise.
-OPT_IN_PACKS: Tuple[str, ...] = ("perf",)
+#: The ownership rules reason about array aliasing and run as their own
+#: CI gate (``--pack ownership --fail-on warning``).
+OPT_IN_PACKS: Tuple[str, ...] = ("perf", "ownership")
 
 DEFAULT_RULE_CLASSES: Tuple[Type[Rule], ...] = tuple(
     cls

@@ -249,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--pack", action="append", default=None, metavar="NAME",
         help="run only this rule pack (repeatable: determinism, protocol, "
-             "concurrency, flow, perf); unions with --rule",
+             "concurrency, flow, perf, ownership); unions with --rule",
     )
     lint_parser.add_argument(
         "--profile", metavar="TRACE.json", default=None,

@@ -25,7 +25,9 @@ class Partition:
         if len(indices) == 0:
             raise ValueError("a partition must contain at least one sample")
         self.dataset = dataset
-        self.indices = np.asarray(indices, dtype=np.int64)
+        # own the index array: a caller mutating its copy after
+        # partitioning must not silently reshuffle this shard
+        self.indices = np.array(indices, dtype=np.int64, copy=True)
 
     def __len__(self) -> int:
         return len(self.indices)

@@ -151,6 +151,7 @@ class AdaGradUpdateRule(SgdUpdateRule):
         self._accumulator: Optional[ParamSet] = None
 
     def apply(self, params: ParamSet, gradient: ParamSet) -> float:
+        """Apply one AdaGrad step, mutating ``params`` in place."""
         rate = self.schedule.rate_at(self._updates_applied)
         if self.clip_norm is not None:
             gradient = gradient.clip_by_global_norm(self.clip_norm)

@@ -38,7 +38,12 @@ class ParamSet:
                 # push/pull) take the no-op branch.
                 value = np.asarray(value, dtype=np.float64)  # repro: allow[PERF-NUMPY-COPY] dtype-guarded: reached only when a convert-copy is genuinely required
             converted[str(key)] = value
-        self._arrays: Dict[str, np.ndarray] = converted
+        # Deliberate zero-copy adoption: float64 input arrays are taken by
+        # reference (the dtype guard above is a no-op for them), which is
+        # what lets ShmParamStore.backing() wrap live shared-memory
+        # segments in a ParamSet without a copy.  Callers that need an
+        # owning set go through .copy().
+        self._arrays: Dict[str, np.ndarray] = converted  # repro: allow[BUF-ALIAS-STORE] zero-copy adoption is this constructor's contract (see comment); backing() relies on it
         if not converted:
             raise ValueError("ParamSet cannot be empty")
 
@@ -62,7 +67,11 @@ class ParamSet:
         return self._arrays.keys()
 
     def items(self):
-        """(name, array) pairs, in insertion order."""
+        """Live (name, array) view pairs, in insertion order.
+
+        The arrays are the set's own buffers, not copies — mutate them
+        only when you own the set (the in-place update rules do).
+        """
         return self._arrays.items()
 
     # ------------------------------------------------------------------

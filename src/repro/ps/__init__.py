@@ -13,6 +13,7 @@ from repro.ps.kvstore import KVStore
 from repro.ps.policy import SyncPolicy, WorkerView
 from repro.ps.engine import TrainingEngine, EngineConfig, WorkerRuntime
 from repro.ps.result import RunResult, WorkerStats
+from repro.ps.shm import ShmArraySegment, ShmParamStore, ShmStoreSpec, ShmTornRead
 
 __all__ = [
     "KVStore",
@@ -26,4 +27,8 @@ __all__ = [
     "WorkerRuntime",
     "RunResult",
     "WorkerStats",
+    "ShmArraySegment",
+    "ShmParamStore",
+    "ShmStoreSpec",
+    "ShmTornRead",
 ]

@@ -98,6 +98,15 @@ class KVStore:
         if array.ndim < 1:
             raise ValueError(f"key {key!r} is scalar; no rows to pull")
         row_ids = np.asarray(row_ids, dtype=np.int64)
+        nrows = array.shape[0]
+        if row_ids.size and (
+            int(row_ids.min()) < 0 or int(row_ids.max()) >= nrows
+        ):
+            bad = row_ids[(row_ids < 0) | (row_ids >= nrows)]
+            raise ValueError(
+                f"row_ids out of bounds for key {key!r} with {nrows} rows: "
+                f"{bad.tolist()} (valid range is 0..{nrows - 1})"
+            )
         # Fancy indexing already materializes a fresh gathered array; the
         # old trailing .copy() duplicated every pulled row a second time.
         return array[row_ids]

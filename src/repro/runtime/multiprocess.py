@@ -1,12 +1,22 @@
 """Multi-process backend: real OS processes, queues, and a server process.
 
 The strongest form of protocol validation this package offers: workers are
-``multiprocessing`` processes with no shared memory, the parameter server
-is its own process owning the model, and every pull/push/notify crosses a
+``multiprocessing`` processes, the parameter server is its own process
+owning the model, and every pull/push/notify *control* message crosses a
 real OS pipe.  The SpecSync scheduler runs in the parent (exactly the
 centralized architecture of paper Fig. 7) and signals aborts through
 per-worker ``multiprocessing.Event`` objects — the worker's interruptible
 compute wait is the abort point, as in the threaded backend.
+
+Array payloads do not travel the queues: the backend splits control plane
+from data plane.  Parameters live in a fenced shared-memory store
+(:class:`repro.ps.shm.ShmParamStore`) that the server alone writes and
+workers snapshot directly; each worker pushes its gradient through its own
+shared-memory slot.  The queues carry only small tagged tuples, so the
+server's wire-tag stream (and its replay through the protocol model) is
+unchanged while the per-iteration pickle cost is gone — the zero-copy
+store the ROADMAP's "make the hot paths actually fast" item called for,
+certified by the ``BUF-*`` ownership lint pack.
 
 Scaled-down timing (milliseconds per virtual second) keeps a full run under
 a couple of wall seconds.
@@ -30,6 +40,7 @@ from repro.obs.core import tracer_for
 from repro.obs.log import get_logger
 from repro.obs.perf import profiler_for
 from repro.obs.straggler import StragglerDetector
+from repro.ps.shm import ShmParamStore
 from repro.obs.tracks import (
     RT_RUN_TRACK,
     RT_SCHEDULER_TRACK,
@@ -82,10 +93,13 @@ def uninstall_mp_shim() -> None:
 # ----------------------------------------------------------------------
 # Server process
 # ----------------------------------------------------------------------
-def _server_main(initial_params, update_rule, request_queue, response_queues,
-                 stats_reply_queue, server_stop,
+def _server_main(param_store, grad_stores, update_rule, request_queue,
+                 response_queues, stats_reply_queue, server_stop,
                  wire_queue=None):  # pragma: no cover - separate process
-    params = initial_params.copy()
+    # The server is the parameter store's single writer, so its live
+    # backing view is safe to mutate under the write fence and to read
+    # without one; workers only ever see fenced read() snapshots.
+    params = param_store.backing()
     version = 0
     staleness_sum = 0
     staleness_count = 0
@@ -101,22 +115,34 @@ def _server_main(initial_params, update_rule, request_queue, response_queues,
                 # Mirror the wire tag in processing order, for replay
                 # through the protocol model (trace conformance).
                 wire_queue.put(("pull", worker_id), timeout=_PUT_TIMEOUT_S)
-            # repro: allow[PERF-PICKLE-PAYLOAD] pickled pull payload is the known cost of the queue backend; ROADMAP "Make the hot paths actually fast" tracks the shared-memory zero-copy store replacing it
-            response_queues[worker_id].put(
-                ("params", params.copy(), version), timeout=_PUT_TIMEOUT_S
-            )
+            # Zero-copy pull: no reply — the worker snapshots the fenced
+            # shared-memory store directly.  The pull message is control
+            # plane only, kept so the server-visible wire trace (and the
+            # protocol shape the model replays) stays intact.
         elif kind == "push":
-            _, worker_id, gradient, snapshot_version = message
+            _, worker_id, snapshot_version = message
             if wire_queue is not None:
                 wire_queue.put(("push", worker_id), timeout=_PUT_TIMEOUT_S)
             staleness_sum += version - snapshot_version
             staleness_count += 1
-            update_rule.apply(params, gradient)
+            # The pushing worker blocks on this ack, so its gradient slot
+            # is stable for the duration of the apply: the live backing
+            # view (no copy, no pickle) is race-free by protocol.  The
+            # fence version cross-checks that claim cheaply.
+            grad_store = grad_stores[worker_id]
+            if grad_store.version != snapshot_version:
+                raise RuntimeError(
+                    f"gradient slot of worker {worker_id} is at fence "
+                    f"version {grad_store.version}, push says "
+                    f"{snapshot_version}; single-writer protocol violated"
+                )
             version += 1
+            with param_store.write_fence(version):
+                update_rule.apply(params, grad_store.backing())
             response_queues[worker_id].put(("ack", version), timeout=_PUT_TIMEOUT_S)
         elif kind == "stats":
             mean = staleness_sum / staleness_count if staleness_count else 0.0
-            # repro: allow[PERF-PICKLE-PAYLOAD] one-shot shutdown stats snapshot, not a per-iteration transfer; zero-copy store (ROADMAP) removes it with the backend
+            # repro: allow[PERF-PICKLE-PAYLOAD] one-shot shutdown stats snapshot pickled by design — a single reply at teardown, not the per-iteration transfer the zero-copy shm store eliminated
             stats_reply_queue.put(
                 ("stats", version, mean, params.copy()), timeout=_PUT_TIMEOUT_S
             )
@@ -128,9 +154,9 @@ def _server_main(initial_params, update_rule, request_queue, response_queues,
 # Worker process
 # ----------------------------------------------------------------------
 def _worker_main(worker_id, model, partition, compute_model, batch_size,
-                 time_scale, seed, request_queue, response_queue,
-                 notify_queue, abort_event, stop_event, stats_queue,
-                 max_aborts_per_iteration):  # pragma: no cover - separate process
+                 time_scale, seed, param_store, grad_store, request_queue,
+                 response_queue, notify_queue, abort_event, stop_event,
+                 stats_queue, max_aborts_per_iteration):  # pragma: no cover - separate process
     streams = RngStreams(seed)
     batch_rng = streams.get("batch", worker_id)
     compute_rng = streams.get("compute", worker_id)
@@ -138,16 +164,13 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
     aborts = 0
 
     def pull():
+        if stop_event.is_set():
+            return None, None
+        # Control plane only: the tag keeps the server's wire trace (and
+        # the pull-before-push protocol shape) intact; the payload is a
+        # fenced shared-memory snapshot, not a pickled queue reply.
         request_queue.put(("pull", worker_id), timeout=_PUT_TIMEOUT_S)
-        while True:
-            try:
-                kind, params, version = response_queue.get(timeout=_POLL_S)
-            except queue_module.Empty:
-                if stop_event.is_set():
-                    return None, None
-                continue
-            assert kind == "params"
-            return params, version
+        return param_store.read()
 
     while not stop_event.is_set():
         batch = partition.sample_batch(batch_rng, batch_size)
@@ -173,8 +196,12 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
         if stop_event.is_set() or snapshot is None:
             break
         _, gradient = model.loss_and_grad(snapshot, batch)
-        # repro: allow[PERF-PICKLE-PAYLOAD] pickled push gradient is the known cost of the queue backend; ROADMAP "Make the hot paths actually fast" tracks the shared-memory zero-copy store replacing it
-        request_queue.put(("push", worker_id, gradient, version), timeout=_PUT_TIMEOUT_S)
+        # Zero-copy push: the gradient travels through this worker's own
+        # fenced shared-memory slot (stamped with the snapshot version the
+        # server needs for staleness math); the queue carries only the
+        # small control tuple.
+        grad_store.write(gradient, version)
+        request_queue.put(("push", worker_id, version), timeout=_PUT_TIMEOUT_S)
         while True:
             try:
                 kind, _version = response_queue.get(timeout=_POLL_S)
@@ -267,12 +294,24 @@ class MultiprocessRun:
         streams = RngStreams(self.seed)
         initial_params = self.model.init_params(streams.get("init"))
 
+        # Zero-copy data plane: one fenced shared-memory store for the
+        # parameters (server writes, workers read) plus a per-worker
+        # gradient slot (its worker writes, the server reads).  All
+        # segments are created here and inherited across fork — no child
+        # ever attaches, so the parent stays the single owner that
+        # unlinks at shutdown.
+        param_store = ShmParamStore.create(initial_params)
+        grad_template = initial_params.zeros_like()
+        grad_stores = [
+            ShmParamStore.create(grad_template) for _ in range(num_workers)
+        ]
+
         stats_reply_queue = ctx.Queue()
         server_stop = ctx.Event()
         wire_queue = ctx.Queue() if self.record_wire_trace else None
         server = ctx.Process(
             target=_server_main,
-            args=(initial_params, self.update_rule, request_queue,
+            args=(param_store, grad_stores, self.update_rule, request_queue,
                   response_queues, stats_reply_queue, server_stop,
                   wire_queue),
             daemon=True,
@@ -282,7 +321,8 @@ class MultiprocessRun:
                 target=_worker_main,
                 args=(i, self.model, self.partitions[i], self.compute_model,
                       self.batch_size, self.time_scale, self.seed,
-                      request_queue, response_queues[i], notify_queue,
+                      param_store, grad_stores[i], request_queue,
+                      response_queues[i], notify_queue,
                       abort_events[i], stop_event, stats_queue,
                       self.max_aborts_per_iteration),
                 daemon=True,
@@ -398,6 +438,12 @@ class MultiprocessRun:
                 server.join(timeout=10.0)
                 if scheduler is not None:
                     scheduler.close()
+                # Children are joined (or timed out as daemons): the
+                # parent, as single owner, unmaps and frees every
+                # shared-memory segment.
+                for store in (param_store, *grad_stores):
+                    store.close()
+                    store.unlink()
         wall = time.monotonic() - started
 
         wire_trace: Optional[List[Tuple[str, int]]] = None

@@ -368,6 +368,7 @@ class TestSelection:
     def test_flow_pack_registered(self):
         assert set(RULE_PACKS) == {
             "determinism", "protocol", "concurrency", "flow", "perf",
+            "ownership",
         }
         flow_ids = {cls.rule_id for cls in RULE_PACKS["flow"]}
         assert flow_ids == {

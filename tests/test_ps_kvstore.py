@@ -99,6 +99,50 @@ class TestRowSparsePull:
         assert kv.pull("emb")[1, 0] == 0.0
 
 
+class TestRowSparsePullBounds:
+    def test_negative_row_id_raises_naming_the_key(self):
+        kv = make_store()
+        kv.init("emb", np.zeros((4, 3)))
+        with pytest.raises(ValueError, match="'emb'"):
+            kv.row_sparse_pull("emb", np.array([0, -1]))
+
+    def test_row_id_past_end_raises_with_valid_range(self):
+        kv = make_store()
+        kv.init("emb", np.zeros((4, 3)))
+        with pytest.raises(ValueError, match="0..3"):
+            kv.row_sparse_pull("emb", np.array([4]))
+
+    def test_empty_row_ids_is_fine(self):
+        kv = make_store()
+        kv.init("emb", np.zeros((4, 3)))
+        assert kv.row_sparse_pull("emb", np.array([], dtype=np.int64)).shape == (0, 3)
+
+
+class TestAliasingInvariants:
+    """The BUF-ALIAS-STORE / BUF-RETURN-VIEW contracts, dynamically."""
+
+    def test_init_never_aliases_callers_array(self):
+        kv = make_store()
+        mine = np.ones(3)
+        kv.init("w", mine)
+        mine[0] = 99.0
+        np.testing.assert_allclose(kv.pull("w"), [1, 1, 1])
+
+    def test_pull_never_aliases_internal_array(self):
+        kv = make_store()
+        kv.init("w", np.ones(3))
+        pulled = kv.pull("w")
+        pulled[:] = 5.0
+        np.testing.assert_allclose(kv.pull("w"), [1, 1, 1])
+
+    def test_as_paramset_never_aliases_internal_arrays(self):
+        kv = make_store()
+        kv.init("w", np.ones(3))
+        snapshot = kv.as_paramset()
+        snapshot["w"][:] = -1.0
+        np.testing.assert_allclose(kv.pull("w"), [1, 1, 1])
+
+
 class TestParamSetBridge:
     def test_as_paramset_snapshot(self):
         kv = make_store()
