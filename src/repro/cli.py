@@ -12,6 +12,8 @@ Subcommands::
     repro perf report out.json          # profiler/straggler dashboard
     repro bench [names…] --scale smoke  # emit BENCH_<name>.json files
     repro bench --compare OLD NEW       # regression-gate two bench files
+    repro top --smoke --once --json     # live telemetry dashboard over the
+                                        # shm ring-buffer exporters
     repro lint [--format json] [paths…] # codebase-specific static analysis
     repro sanitize [--backend threaded] # runtime sanitizers (locks, races,
                                         # replay determinism)
@@ -189,6 +191,57 @@ def build_parser() -> argparse.ArgumentParser:
     perf_report_parser.add_argument("path", help="trace JSON file to inspect")
     perf_report_parser.add_argument("--format", choices=["text", "json"],
                                     default="text")
+
+    top_parser = sub.add_parser(
+        "top",
+        help="live telemetry dashboard: attach to a live-exported run, "
+             "replay a recorded trace, or run the multiprocess smoke "
+             "workload with the shm ring exporter enabled",
+    )
+    top_mode = top_parser.add_mutually_exclusive_group(required=True)
+    top_mode.add_argument(
+        "--attach", metavar="SPEC.json",
+        help="attach to a running live-exported session via its ring "
+             "spec file (this process becomes the single consumer)",
+    )
+    top_mode.add_argument(
+        "--replay", metavar="TRACE.json",
+        help="feed a recorded trace-format-v2 file through the dashboard",
+    )
+    top_mode.add_argument(
+        "--smoke", action="store_true",
+        help="run the multiprocess smoke workload with live export and "
+             "watch it",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=0.5,
+        help="refresh/poll interval in wall seconds (default 0.5)",
+    )
+    top_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="how long to watch, in wall seconds (smoke run default 0.6; "
+             "attach default: until interrupted)",
+    )
+    top_parser.add_argument(
+        "--speed", type=float, default=0.0,
+        help="--replay pacing as a multiple of recorded time (0 = instant)",
+    )
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="emit a single final snapshot instead of a refreshing view",
+    )
+    top_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the final snapshot as JSON (for CI and scripting)",
+    )
+    top_parser.add_argument("--seed", type=int, default=0,
+                            help="--smoke workload seed")
+    top_parser.add_argument(
+        "--drain", metavar="PATH",
+        help="serialize the captured stream to a trace-format-v2 file at "
+             "PATH when the dashboard ends (repro analyze/trace/perf "
+             "consume it unchanged)",
+    )
 
     bench_parser = sub.add_parser(
         "bench",
@@ -609,6 +662,144 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _drain_live_capture(aggregator, path: str) -> None:
+    """Serialize an aggregator's retained stream to trace-format-v2."""
+    collector = obs.TraceCollector()
+    collector.metadata["command"] = "top"
+    aggregator.drain_to_collector(collector)
+    with open(path, "w", encoding="utf-8") as handle:
+        count = obs.write_chrome_trace(collector, handle)
+    print(f"{count} trace events written to {path}", file=sys.stderr)
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.obs.live import (
+        LiveTelemetrySession,
+        TelemetryAggregator,
+        render_dashboard,
+        replay_trace,
+        run_dashboard,
+        trace_worker_count,
+    )
+
+    def emit(snapshot: dict) -> None:
+        if args.json:
+            print(json.dumps(snapshot, indent=1, sort_keys=True))
+        else:
+            print(render_dashboard(snapshot))
+
+    if args.replay:
+        try:
+            with open(args.replay, "r", encoding="utf-8") as handle:
+                trace = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro top: error: {exc}", file=sys.stderr)
+            return 2
+        aggregator = TelemetryAggregator(
+            num_workers=trace_worker_count(trace)
+        )
+        try:
+            if args.speed > 0 and not args.once and not args.json:
+                snapshot = replay_trace(
+                    trace, aggregator, speed=args.speed, sleep_fn=time.sleep,
+                    on_frame=lambda s: print("\x1b[2J\x1b[H" + render_dashboard(s)),
+                    frame_interval_s=args.interval,
+                )
+            else:
+                snapshot = replay_trace(trace, aggregator)
+        except ValueError as exc:
+            print(f"repro top: error: {exc}", file=sys.stderr)
+            return 2
+        emit(snapshot)
+        if args.drain:
+            _drain_live_capture(aggregator, args.drain)
+        return 0
+
+    if args.attach:
+        try:
+            session = LiveTelemetrySession.load_spec(args.attach)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"repro top: error: {exc}", file=sys.stderr)
+            return 2
+        aggregator = session.aggregator()
+        try:
+            snapshot = run_dashboard(
+                aggregator,
+                now_fn=time.monotonic,
+                sleep_fn=time.sleep,
+                write=sys.stdout.write,
+                interval_s=args.interval,
+                duration_s=args.duration,
+                once=args.once,
+                as_json=args.json,
+            )
+        finally:
+            session.close()
+        if args.drain:
+            _drain_live_capture(aggregator, args.drain)
+        return 0
+
+    # --smoke: the perfbench multiprocess smoke workload with the ring
+    # exporters on; this CLI process is the single consumer of the rings.
+    import threading
+
+    from repro.core.tuning import AdaptiveTuner
+    from repro.perfbench.benches import _small_training_setup
+    from repro.runtime.multiprocess import MultiprocessRun
+
+    setup = _small_training_setup()
+    session = LiveTelemetrySession.create(num_workers=len(setup["partitions"]))
+    duration = args.duration if args.duration is not None else 0.6
+    failure: List[BaseException] = []
+
+    def _run() -> None:
+        try:
+            MultiprocessRun(
+                time_scale=0.004, tuner=AdaptiveTuner(), seed=args.seed,
+                live_session=session, **setup,
+            ).run(duration_s=duration)
+        except BaseException as exc:  # surfaced after the join below
+            failure.append(exc)
+
+    runner = threading.Thread(target=_run, daemon=True)
+    try:
+        runner.start()
+        aggregator = session.aggregator()
+        if args.once:
+            # Poll quietly while the run is live (keeps the rings from
+            # ever filling), then print one final snapshot.
+            while runner.is_alive():
+                aggregator.poll(time.monotonic())
+                time.sleep(min(args.interval, 0.1))
+            runner.join()
+            aggregator.poll(time.monotonic())
+            emit(aggregator.snapshot(time.monotonic()))
+        else:
+            run_dashboard(
+                aggregator,
+                now_fn=time.monotonic,
+                sleep_fn=time.sleep,
+                write=sys.stdout.write,
+                interval_s=args.interval,
+                duration_s=args.duration,
+                once=False,
+                as_json=args.json,
+                stop_when=lambda: not runner.is_alive(),
+            )
+            runner.join()
+        if args.drain:
+            _drain_live_capture(aggregator, args.drain)
+    finally:
+        session.close()
+        session.unlink()
+    if failure:
+        print(f"repro top: smoke run failed: {failure[0]}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.perfbench import (
         bench_payload,
@@ -775,6 +966,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_analyze(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "lint":

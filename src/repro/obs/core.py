@@ -339,6 +339,10 @@ class Tracer:
         """Record one observation into the histogram ``name``."""
         self.collector.metrics.histogram(name).observe(value)
 
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its current level (queue depth etc.)."""
+        self.collector.metrics.gauge(name).set(value)
+
     def __repr__(self) -> str:
         return f"Tracer(domain={self._domain!r}, collector={self.collector!r})"
 
@@ -381,6 +385,9 @@ class NullTracer:
         """No-op."""
 
     def observe(self, *_args, **_kwargs) -> None:
+        """No-op."""
+
+    def gauge(self, *_args, **_kwargs) -> None:
         """No-op."""
 
     def __repr__(self) -> str:

@@ -64,7 +64,14 @@ class StragglerDetector:
         if previous is None:
             return None
         interval = ts - previous
-        self._intervals[worker_id].append(interval)
+        # A worker id beyond the configured count (a replayed trace with
+        # more workers than expected) gets a window on the fly rather
+        # than crashing the feed; only ids < num_workers are z-scored.
+        intervals = self._intervals.get(worker_id)
+        if intervals is None:
+            intervals = deque(maxlen=self.window)
+            self._intervals[worker_id] = intervals
+        intervals.append(interval)
         return interval
 
     def mean_interval(self, worker_id: int) -> Optional[float]:
@@ -91,7 +98,12 @@ class StragglerDetector:
         mu = sum(population) / len(population)
         variance = sum((m - mu) ** 2 for m in population) / len(population)
         sigma = math.sqrt(variance)
-        if sigma == 0:
+        # Zero-variance guard, relative to the population mean: workers
+        # pushing at constant (or float-rounding-identical) intervals
+        # have no spread to score against, and dividing by a denormal
+        # sigma would manufacture huge z-scores (or NaN at exactly 0)
+        # from noise far below timer resolution.
+        if sigma <= abs(mu) * 1e-9:
             return {worker: 0.0 for worker in means}
         return {worker: (mean - mu) / sigma for worker, mean in means.items()}
 

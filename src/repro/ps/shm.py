@@ -229,6 +229,13 @@ class ShmParamStore:
         )
         self._segments = segments
         self._owner = owner
+        # Per-process retry visibility (satellite of the live telemetry
+        # plane): retries were always bounded but previously invisible.
+        self._counters: Dict[str, int] = {
+            "reads": 0,
+            "torn_read_retries": 0,
+            "fence_waits": 0,
+        }
 
     # ------------------------------------------------------------------
     # Construction
@@ -319,8 +326,11 @@ class ShmParamStore:
                 }
                 version = int(self._meta[_VERSION])
             if fence.consistent:
+                self._counters["reads"] += 1
                 return ParamSet(arrays), version
+            self._counters["torn_read_retries"] += 1
             if attempt >= _SPIN_ATTEMPTS:
+                self._counters["fence_waits"] += 1
                 time.sleep(_RETRY_SLEEP_S)
         raise ShmTornRead(
             f"no consistent snapshot after {_MAX_READ_ATTEMPTS} attempts; "
@@ -335,7 +345,9 @@ class ShmParamStore:
                 version = int(self._meta[_VERSION])
             if fence.consistent:
                 return version
+            self._counters["torn_read_retries"] += 1
             if attempt >= _SPIN_ATTEMPTS:
+                self._counters["fence_waits"] += 1
                 time.sleep(_RETRY_SLEEP_S)
         raise ShmTornRead(
             f"no consistent version after {_MAX_READ_ATTEMPTS} attempts; "
@@ -360,6 +372,19 @@ class ShmParamStore:
     def keys(self) -> List[str]:
         """Parameter names, in creation order."""
         return list(self._segments)
+
+    def counters(self) -> Dict[str, int]:
+        """This process's fence statistics, as a metrics-ready dict.
+
+        ``reads`` counts consistent snapshots, ``torn_read_retries``
+        counts snapshots discarded because a write fence was in flight
+        (or the sequence moved mid-copy), and ``fence_waits`` counts the
+        retries that escalated past the spin phase into a sleep.  The
+        numbers are local to this process's mapping — each worker sees
+        its own contention, which is exactly what the live telemetry
+        plane exports per source.
+        """
+        return dict(self._counters)
 
     def close(self) -> None:
         """Unmap every segment in this process (idempotent per process)."""

@@ -24,6 +24,7 @@ a couple of wall seconds.
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
 import queue as queue_module
 import time
@@ -37,6 +38,13 @@ from repro.ml.models.base import Model
 from repro.ml.optim import SgdUpdateRule
 from repro.obs.clock import FunctionClock
 from repro.obs.core import tracer_for
+from repro.obs.live.ring import NULL_RING_WRITER, RingWriter
+from repro.obs.live.session import (
+    PARENT_SOURCE,
+    SERVER_SOURCE,
+    LiveTelemetrySession,
+    worker_source,
+)
 from repro.obs.log import get_logger
 from repro.obs.perf import profiler_for
 from repro.obs.straggler import StragglerDetector
@@ -44,6 +52,7 @@ from repro.ps.shm import ShmParamStore
 from repro.obs.tracks import (
     RT_RUN_TRACK,
     RT_SCHEDULER_TRACK,
+    RT_SERVER_TRACK,
     resync_flow_key,
     rt_worker_track,
 )
@@ -57,6 +66,19 @@ __all__ = [
 ]
 
 _POLL_S = 0.02
+
+#: Clock announcement every live ring writer of this backend sends: fork
+#: children share the parent's CLOCK_MONOTONIC, so the aggregator aligns
+#: with offset 0 and only reports the observed skew/latency bound.
+_LIVE_META = json.dumps({"clock": "shared", "backend": "multiprocess"})
+
+
+def _queue_depth(q) -> int:
+    """Best-effort ``qsize`` (-1 where the platform has no sem_getvalue)."""
+    try:
+        return q.qsize()
+    except (NotImplementedError, OSError):  # pragma: no cover - macOS
+        return -1
 
 #: All queues in this backend are created unbounded in ``run()``, so a
 #: ``put`` never blocks in practice; the explicit timeout turns the
@@ -95,7 +117,7 @@ def uninstall_mp_shim() -> None:
 # ----------------------------------------------------------------------
 def _server_main(param_store, grad_stores, update_rule, request_queue,
                  response_queues, stats_reply_queue, server_stop,
-                 wire_queue=None):  # pragma: no cover - separate process
+                 wire_queue=None, live_ring=None):  # pragma: no cover - separate process
     # The server is the parameter store's single writer, so its live
     # backing view is safe to mutate under the write fence and to read
     # without one; workers only ever see fenced read() snapshots.
@@ -103,11 +125,20 @@ def _server_main(param_store, grad_stores, update_rule, request_queue,
     version = 0
     staleness_sum = 0
     staleness_count = 0
+    # Live telemetry exporter: the ring was created by the parent and
+    # inherited across fork; the server is its single writer.
+    writer = (
+        RingWriter(live_ring, SERVER_SOURCE, time.monotonic,
+                   meta_json=_LIVE_META)
+        if live_ring is not None else NULL_RING_WRITER
+    )
+    message_bytes = params.num_elements * 8
     while not server_stop.is_set():
         try:
             message = request_queue.get(timeout=_POLL_S)
         except queue_module.Empty:
             continue
+        received = writer.now() if writer.enabled else 0.0
         kind = message[0]
         if kind == "pull":
             _, worker_id = message
@@ -119,11 +150,20 @@ def _server_main(param_store, grad_stores, update_rule, request_queue,
             # shared-memory store directly.  The pull message is control
             # plane only, kept so the server-visible wire trace (and the
             # protocol shape the model replays) stays intact.
+            if writer.enabled:
+                writer.sample(
+                    "rt.msg.pull.latency_s", writer.now() - received
+                )
+                writer.sample("rt.msg.pull.bytes", message_bytes)
+                depth = _queue_depth(request_queue)
+                if depth >= 0:
+                    writer.gauge("rt.queue.request_depth", depth)
         elif kind == "push":
             _, worker_id, snapshot_version = message
             if wire_queue is not None:
                 wire_queue.put(("push", worker_id), timeout=_PUT_TIMEOUT_S)
-            staleness_sum += version - snapshot_version
+            staleness = version - snapshot_version
+            staleness_sum += staleness
             staleness_count += 1
             # The pushing worker blocks on this ack, so its gradient slot
             # is stable for the duration of the apply: the live backing
@@ -140,6 +180,16 @@ def _server_main(param_store, grad_stores, update_rule, request_queue,
             with param_store.write_fence(version):
                 update_rule.apply(params, grad_store.backing())
             response_queues[worker_id].put(("ack", version), timeout=_PUT_TIMEOUT_S)
+            if writer.enabled:
+                now = writer.now()
+                writer.span(RT_SERVER_TRACK, "apply", received, now)
+                writer.sample("rt.msg.push.latency_s", now - received)
+                writer.sample("rt.msg.push.bytes", message_bytes)
+                writer.count("rt.pushes")
+                writer.gauge(f"rt.staleness.w{worker_id}", staleness)
+                depth = _queue_depth(request_queue)
+                if depth >= 0:
+                    writer.gauge("rt.queue.request_depth", depth)
         elif kind == "stats":
             mean = staleness_sum / staleness_count if staleness_count else 0.0
             # repro: allow[PERF-PICKLE-PAYLOAD] one-shot shutdown stats snapshot pickled by design — a single reply at teardown, not the per-iteration transfer the zero-copy shm store eliminated
@@ -156,23 +206,37 @@ def _server_main(param_store, grad_stores, update_rule, request_queue,
 def _worker_main(worker_id, model, partition, compute_model, batch_size,
                  time_scale, seed, param_store, grad_store, request_queue,
                  response_queue, notify_queue, abort_event, stop_event,
-                 stats_queue, max_aborts_per_iteration):  # pragma: no cover - separate process
+                 stats_queue, max_aborts_per_iteration,
+                 live_ring=None):  # pragma: no cover - separate process
     streams = RngStreams(seed)
     batch_rng = streams.get("batch", worker_id)
     compute_rng = streams.get("compute", worker_id)
     iterations = 0
     aborts = 0
+    # Live telemetry exporter: ring created by the parent pre-fork; this
+    # worker process is its single writer.
+    writer = (
+        RingWriter(live_ring, worker_source(worker_id), time.monotonic,
+                   meta_json=_LIVE_META)
+        if live_ring is not None else NULL_RING_WRITER
+    )
+    track = rt_worker_track(worker_id)
 
     def pull():
         if stop_event.is_set():
             return None, None
+        started = writer.now() if writer.enabled else 0.0
         # Control plane only: the tag keeps the server's wire trace (and
         # the pull-before-push protocol shape) intact; the payload is a
         # fenced shared-memory snapshot, not a pickled queue reply.
         request_queue.put(("pull", worker_id), timeout=_PUT_TIMEOUT_S)
-        return param_store.read()
+        result = param_store.read()
+        if writer.enabled:
+            writer.span(track, "pull", started)
+        return result
 
     while not stop_event.is_set():
+        iteration_started = writer.now() if writer.enabled else 0.0
         batch = partition.sample_batch(batch_rng, batch_size)
         snapshot, version = pull()
         if snapshot is None:
@@ -180,11 +244,26 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
         aborts_left = max_aborts_per_iteration
         while True:
             duration = compute_model.sample(compute_rng) * time_scale
+            compute_started = writer.now() if writer.enabled else 0.0
             interrupted = abort_event.wait(timeout=duration)
             if stop_event.is_set():
                 break
             if interrupted and aborts_left > 0:
                 abort_event.clear()
+                if writer.enabled:
+                    now = writer.now()
+                    # The aborted wait is still compute time spent — the
+                    # abort instant carries how much of it was wasted.
+                    writer.span(track, "compute", compute_started, now,
+                                cat="compute")
+                    writer.instant(
+                        track, "abort", now, cat="abort",
+                        args_json=json.dumps({
+                            "worker": worker_id,
+                            "wasted_s": round(now - compute_started, 9),
+                        }),
+                    )
+                    writer.count("rt.aborts")
                 snapshot, version = pull()
                 if snapshot is None:
                     break
@@ -192,6 +271,8 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
                 aborts_left -= 1
                 continue
             abort_event.clear()
+            if writer.enabled:
+                writer.span(track, "compute", compute_started, cat="compute")
             break
         if stop_event.is_set() or snapshot is None:
             break
@@ -200,6 +281,7 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
         # fenced shared-memory slot (stamped with the snapshot version the
         # server needs for staleness math); the queue carries only the
         # small control tuple.
+        push_started = writer.now() if writer.enabled else 0.0
         grad_store.write(gradient, version)
         request_queue.put(("push", worker_id, version), timeout=_PUT_TIMEOUT_S)
         while True:
@@ -211,8 +293,19 @@ def _worker_main(worker_id, model, partition, compute_model, batch_size,
                 continue
             assert kind == "ack"
             break
+        if writer.enabled:
+            writer.span(track, "push", push_started)
         iterations += 1
         notify_queue.put((worker_id, iterations), timeout=_PUT_TIMEOUT_S)
+        if writer.enabled:
+            writer.span(track, "iteration", iteration_started, cat="iteration")
+    if writer.enabled:
+        # Final fence statistics: the previously-invisible retry counts
+        # of this worker's shared-memory mappings.
+        for name, value in param_store.counters().items():
+            writer.count(f"shm.param.{name}", value)
+        for name, value in grad_store.counters().items():
+            writer.count(f"shm.grad.{name}", value)
     stats_queue.put((worker_id, iterations, aborts), timeout=_PUT_TIMEOUT_S)
 
 
@@ -251,11 +344,17 @@ class MultiprocessRun:
         seed: int = 0,
         max_aborts_per_iteration: int = 1,
         record_wire_trace: bool = False,
+        live_session: Optional[LiveTelemetrySession] = None,
     ):
         if not partitions:
             raise ValueError("need at least one partition/worker")
         if time_scale <= 0:
             raise ValueError(f"time_scale must be positive, got {time_scale}")
+        if live_session is not None and live_session.num_workers < len(partitions):
+            raise ValueError(
+                f"live session has rings for {live_session.num_workers} "
+                f"workers but the run needs {len(partitions)}"
+            )
         self.model = model
         self.partitions = partitions
         self.eval_batch = eval_batch
@@ -267,6 +366,11 @@ class MultiprocessRun:
         self.seed = seed
         self.max_aborts_per_iteration = max_aborts_per_iteration
         self.record_wire_trace = record_wire_trace
+        #: Borrowed, not owned: the caller that created the session (the
+        #: CLI, a test) polls its aggregator and unlinks the rings — the
+        #: run only writes into them.  SPSC discipline: this class never
+        #: drains a ring itself.
+        self.live_session = live_session
 
     def run(self, duration_s: float = 1.0) -> MultiprocessRunResult:
         """Spawn server + workers, run for ``duration_s`` wall seconds."""
@@ -309,11 +413,20 @@ class MultiprocessRun:
         stats_reply_queue = ctx.Queue()
         server_stop = ctx.Event()
         wire_queue = ctx.Queue() if self.record_wire_trace else None
+        # Live telemetry rings (if the caller wired a session) are
+        # inherited across fork exactly like the parameter segments; the
+        # parent's own exporter writes scheduler/run-level records.
+        live = self.live_session
+        live_writer = (
+            RingWriter(live.parent_ring, PARENT_SOURCE, time.monotonic,
+                       meta_json=_LIVE_META)
+            if live is not None else NULL_RING_WRITER
+        )
         server = ctx.Process(
             target=_server_main,
             args=(param_store, grad_stores, self.update_rule, request_queue,
                   response_queues, stats_reply_queue, server_stop,
-                  wire_queue),
+                  wire_queue, live.server_ring if live else None),
             daemon=True,
         )
         workers = [
@@ -324,7 +437,8 @@ class MultiprocessRun:
                       param_store, grad_stores[i], request_queue,
                       response_queues[i], notify_queue,
                       abort_events[i], stop_event, stats_queue,
-                      self.max_aborts_per_iteration),
+                      self.max_aborts_per_iteration,
+                      live.worker_ring(i) if live else None),
                 daemon=True,
             )
             for i in range(num_workers)
@@ -386,6 +500,11 @@ class MultiprocessRun:
                         continue
                     if tracer.enabled:
                         tracer.count("rt.notifies_drained")
+                    if live_writer.enabled:
+                        live_writer.count("rt.notifies_drained")
+                        depth = _queue_depth(notify_queue)
+                        if depth >= 0:
+                            live_writer.gauge("rt.queue.notify_depth", depth)
                     if straggler is not None:
                         interval = straggler.record_push(
                             worker_id, time.monotonic()
@@ -445,6 +564,12 @@ class MultiprocessRun:
                     store.close()
                     store.unlink()
         wall = time.monotonic() - started
+        if live_writer.enabled:
+            # The run container span anchors the drained trace's time
+            # window to the same bracket the parent's conventional
+            # ``rt.run`` span covers, so post-hoc analyses of the two
+            # captures agree on total wall time.
+            live_writer.span(RT_RUN_TRACK, "run", started, started + wall)
 
         wire_trace: Optional[List[Tuple[str, int]]] = None
         if wire_queue is not None:

@@ -98,24 +98,38 @@ class ThreadedParameterServer:
         self._version = 0
         self._staleness_log: List[int] = []
         self.tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
+        #: Payload size a pull snapshot / push gradient moves (float64).
+        #: The comms instrumentation the socket backend will inherit:
+        #: per-message-kind byte histograms alongside the latencies.
+        self.message_bytes = initial_params.num_elements * 8
 
     def pull(self) -> Tuple[ParamSet, int]:
         """A consistent snapshot and its version."""
-        with self.tracer.measure(RT_SERVER_TRACK, "pull"):
+        tracer = self.tracer
+        started = time.monotonic() if tracer.enabled else 0.0
+        with tracer.measure(RT_SERVER_TRACK, "pull"):
             with self._lock:
-                return self._params.copy(), self._version
+                snapshot, version = self._params.copy(), self._version
+        if tracer.enabled:
+            tracer.observe("rt.msg.pull.latency_s", time.monotonic() - started)
+            tracer.observe("rt.msg.pull.bytes", self.message_bytes)
+        return snapshot, version
 
     def push(self, gradient: ParamSet, snapshot_version: int) -> int:
         """Apply one gradient; returns the staleness it experienced."""
-        with self.tracer.measure(RT_SERVER_TRACK, "push"):
+        tracer = self.tracer
+        started = time.monotonic() if tracer.enabled else 0.0
+        with tracer.measure(RT_SERVER_TRACK, "push"):
             with self._lock:
                 staleness = self._version - snapshot_version
                 self._update_rule.apply(self._params, gradient)
                 self._version += 1
                 self._staleness_log.append(staleness)
-        if self.tracer.enabled:
-            self.tracer.count("rt.pushes")
-            self.tracer.observe("rt.staleness", staleness)
+        if tracer.enabled:
+            tracer.count("rt.pushes")
+            tracer.observe("rt.staleness", staleness)
+            tracer.observe("rt.msg.push.latency_s", time.monotonic() - started)
+            tracer.observe("rt.msg.push.bytes", self.message_bytes)
         return staleness
 
     @property
@@ -145,6 +159,7 @@ class _ThreadSafeScheduler:
         self._lock = threading.RLock()
         self._timers: List[threading.Timer] = []
         self._closed = False
+        self._tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
         self.inner = SpecSyncScheduler(
             num_workers=num_workers,
             tuner=tuner,
@@ -167,6 +182,10 @@ class _ThreadSafeScheduler:
             timer.daemon = True
             self._timers.append(timer)
             timer.start()
+            if self._tracer.enabled:
+                self._tracer.gauge(
+                    "rt.scheduler.pending_timers", len(self._timers)
+                )
 
     def _fire(self, fn) -> None:
         # A Timer is a Thread: the timer executing this callback is the
@@ -182,6 +201,10 @@ class _ThreadSafeScheduler:
             me = threading.current_thread()
             with self._lock:
                 self._timers = [t for t in self._timers if t is not me]
+                if self._tracer.enabled:
+                    self._tracer.gauge(
+                        "rt.scheduler.pending_timers", len(self._timers)
+                    )
 
     def handle_notify(self, worker_id: int, iteration: int) -> None:
         with self._lock:

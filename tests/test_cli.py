@@ -528,3 +528,104 @@ class TestAnalyzeCommand:
             for handler in list(root.handlers):
                 if handler not in before:
                     root.removeHandler(handler)
+
+
+class TestTopCommand:
+    def _live_trace(self, tmp_path):
+        """A drained live capture via the smoke path (also exercises it)."""
+        trace_path = tmp_path / "live_trace.json"
+        code = main([
+            "top", "--smoke", "--once", "--json",
+            "--duration", "0.4", "--drain", str(trace_path),
+        ])
+        assert code == 0
+        return trace_path
+
+    def test_parser_requires_exactly_one_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["top"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["top", "--smoke", "--replay", "trace.json"]
+            )
+        args = build_parser().parse_args(["top", "--smoke", "--once"])
+        assert args.smoke and args.once and not args.json
+
+    def test_smoke_once_json_reports_sane_gauges(self, tmp_path, capsys):
+        trace_path = self._live_trace(tmp_path)
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["schema_version"] == 1
+        assert snapshot["totals"]["dropped_records"] == 0
+        assert snapshot["totals"]["iterations"] > 0
+        for entry in snapshot["workers"].values():
+            assert entry["iterations"] > 0
+        assert any(
+            "rt.queue.request_depth" in gauges
+            for gauges in snapshot["gauges"].values()
+        )
+        assert "straggler" in snapshot["detectors"]
+        # The drained artifact is a real trace-format-v2 file.
+        trace = json.loads(trace_path.read_text())
+        assert "traceEvents" in trace
+
+    def test_drained_capture_passes_analyze_gate(self, tmp_path, capsys):
+        trace_path = self._live_trace(tmp_path)
+        capsys.readouterr()
+        code = main([
+            "analyze", str(trace_path), "--format", "json",
+            "--fail-on", "warning",
+        ])
+        assert code == 0
+        analysis = json.loads(capsys.readouterr().out)
+        assert analysis["runs"]
+
+    def test_replay_once_renders_dashboard(self, tmp_path, capsys):
+        trace_path = self._live_trace(tmp_path)
+        capsys.readouterr()
+        code = main(["top", "--replay", str(trace_path), "--once"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "workers" in out
+
+    def test_replay_json_matches_live_totals(self, tmp_path, capsys):
+        trace_path = self._live_trace(tmp_path)
+        live_snapshot = json.loads(capsys.readouterr().out)
+        code = main(["top", "--replay", str(trace_path), "--once", "--json"])
+        assert code == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert replayed["totals"]["iterations"] == (
+            live_snapshot["totals"]["iterations"]
+        )
+
+    def test_replay_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["top", "--replay", str(bad), "--once"]) == 2
+        not_a_trace = tmp_path / "plain.json"
+        not_a_trace.write_text("{\"foo\": 1}")
+        assert main(["top", "--replay", str(not_a_trace), "--once"]) == 2
+
+    def test_attach_rejects_missing_spec(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["top", "--attach", str(missing), "--once"]) == 2
+
+    def test_attach_reads_a_written_spec(self, tmp_path, capsys):
+        from repro.obs.live import LiveCount, LiveTelemetrySession
+
+        session = LiveTelemetrySession.create(num_workers=1, ring_bytes=4096)
+        try:
+            session.worker_ring(0).push(
+                LiveCount(name="rt.pushes", amount=2.0, ts=0.0)
+            )
+            spec_path = tmp_path / "live.json"
+            session.write_spec(str(spec_path))
+            code = main([
+                "top", "--attach", str(spec_path), "--once", "--json",
+            ])
+            assert code == 0
+            snapshot = json.loads(capsys.readouterr().out)
+            assert snapshot["counters"]["rt.pushes"] == 2.0
+        finally:
+            session.close()
+            session.unlink()

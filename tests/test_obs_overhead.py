@@ -134,3 +134,81 @@ def test_disabled_profiler_path_overhead_is_bounded():
         f"({fraction:.2%}) against a {disabled_wall * 1e3:.0f} ms run; "
         f"budget is {MAX_OVERHEAD_FRACTION:.0%}"
     )
+
+
+def _null_ring_writer_call_cost_s() -> float:
+    """Per-site cost of disabled live export: guard check + no-op call."""
+    from repro.obs.live import NULL_RING_WRITER
+
+    writer = NULL_RING_WRITER
+    start = time.perf_counter()
+    for _ in range(_BENCH_CALLS):
+        if writer.enabled:
+            raise AssertionError("null ring writer must report disabled")
+        writer.span("track", "name", start=0.0)
+    elapsed = time.perf_counter() - start
+    return elapsed / _BENCH_CALLS
+
+
+def test_disabled_live_export_path_overhead_is_bounded():
+    """Same analytic guard for the live-telemetry exporter sites.
+
+    Without a :class:`LiveTelemetrySession` every exporter site in the
+    multiprocess backend holds the shared ``NULL_RING_WRITER``; the hit
+    count of a live-exported copy of the run (every record the rings
+    carried) times the null-call cost must stay under the 5% budget
+    against the disabled run's wall time.
+    """
+    import numpy as np
+
+    from repro.cluster.compute import ComputeTimeModel
+    from repro.core.tuning import AdaptiveTuner
+    from repro.ml import SoftmaxRegressionModel, SyntheticImageDataset
+    from repro.ml.optim import ConstantSchedule, SgdUpdateRule
+    from repro.obs.live import LiveTelemetrySession
+    from repro.runtime import MultiprocessRun
+
+    def build(live_session=None):
+        dataset = SyntheticImageDataset(
+            num_classes=3, feature_dim=8, num_samples=800,
+            class_separation=3.0, warp=False, seed=0,
+        )
+        return MultiprocessRun(
+            model=SoftmaxRegressionModel(input_dim=8, num_classes=3),
+            partitions=dataset.partition(4, np.random.default_rng(0)),
+            eval_batch=dataset.eval_batch(),
+            update_rule=SgdUpdateRule(ConstantSchedule(0.2)),
+            compute_model=ComputeTimeModel(mean_time_s=4.0, jitter_sigma=0.1),
+            batch_size=32,
+            time_scale=0.004,
+            tuner=AdaptiveTuner(),
+            seed=0,
+            live_session=live_session,
+        )
+
+    # 1. Exporter-site hit count: records a live-exported run pushes.
+    session = LiveTelemetrySession.create(num_workers=4)
+    try:
+        build(live_session=session).run(0.5)
+        site_hits = sum(
+            stats["pushed"] + stats["dropped"]
+            for stats in session.stats().values()
+        )
+    finally:
+        session.close()
+        session.unlink()
+    assert site_hits > 0, "the guard run must hit exporter sites"
+
+    # 2. Wall time of the same run with live export disabled.
+    start = time.perf_counter()
+    build(live_session=None).run(0.5)
+    disabled_wall = time.perf_counter() - start
+
+    # 3. The bound.
+    overhead_s = site_hits * _null_ring_writer_call_cost_s()
+    fraction = overhead_s / disabled_wall
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"disabled live-export path costs {overhead_s * 1e3:.3f} ms "
+        f"({fraction:.2%}) against a {disabled_wall * 1e3:.0f} ms run; "
+        f"budget is {MAX_OVERHEAD_FRACTION:.0%}"
+    )

@@ -200,3 +200,62 @@ class TestLifecycle:
         finally:
             seg.close()
             seg.unlink()
+
+
+class TestCounters:
+    """Regression coverage for the exported contention counters."""
+
+    def test_fresh_store_starts_at_zero(self, store):
+        assert store.counters() == {
+            "reads": 0, "torn_read_retries": 0, "fence_waits": 0,
+        }
+
+    def test_clean_reads_count_only_reads(self, store):
+        store.read()
+        store.read()
+        counters = store.counters()
+        assert counters["reads"] == 2
+        assert counters["torn_read_retries"] == 0
+        assert counters["fence_waits"] == 0
+
+    def test_counters_returns_a_copy(self, store):
+        store.counters()["reads"] = 99
+        assert store.counters()["reads"] == 0
+
+    def test_torn_reads_and_fence_waits_are_counted(self, store, monkeypatch):
+        import repro.ps.shm as shm_mod
+
+        # Shrink the retry budget so the in-flight-write case resolves in
+        # microseconds instead of the production ~1 s patience.
+        monkeypatch.setattr(shm_mod, "_MAX_READ_ATTEMPTS", 20)
+        monkeypatch.setattr(shm_mod, "_RETRY_SLEEP_S", 1e-5)
+        fence_ctx = store.write_fence(1)
+        fence_ctx.__enter__()  # seqlock odd: every read observes a torn write
+        try:
+            with pytest.raises(RuntimeError, match="consistent"):
+                store.read()
+        finally:
+            fence_ctx.__exit__(None, None, None)
+        counters = store.counters()
+        assert counters["torn_read_retries"] == 20
+        assert counters["fence_waits"] == 20 - shm_mod._SPIN_ATTEMPTS
+        assert counters["reads"] == 0
+        # Once the writer finishes the reader recovers and counts a read.
+        store.read()
+        assert store.counters()["reads"] == 1
+
+    def test_version_probe_shares_the_same_counters(self, store, monkeypatch):
+        import repro.ps.shm as shm_mod
+
+        monkeypatch.setattr(shm_mod, "_MAX_READ_ATTEMPTS", 18)
+        monkeypatch.setattr(shm_mod, "_RETRY_SLEEP_S", 1e-5)
+        fence_ctx = store.write_fence(1)
+        fence_ctx.__enter__()
+        try:
+            with pytest.raises(RuntimeError, match="consistent"):
+                _ = store.version
+        finally:
+            fence_ctx.__exit__(None, None, None)
+        counters = store.counters()
+        assert counters["torn_read_retries"] == 18
+        assert counters["fence_waits"] == 18 - shm_mod._SPIN_ATTEMPTS

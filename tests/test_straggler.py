@@ -7,6 +7,8 @@ default threshold); tiny 3–4 worker clusters mathematically cannot flag
 a lone straggler, which is the intended conservatism.
 """
 
+import math
+
 import numpy as np
 import pytest
 
@@ -172,3 +174,44 @@ class TestEngineIntegration:
         perf = self._run_scenario_engine({})
         report = perf["reports"]["engine:tiny:asp:seed0"]
         assert report["straggler"]["stragglers"] == []
+
+
+class TestZeroVarianceGuard:
+    """The z-score guard on (near-)zero population spread.
+
+    Dividing by a denormal sigma would manufacture huge z-scores (or
+    NaN at exactly zero) from noise far below timer resolution; the
+    guard is *relative* (``sigma <= |mu| * 1e-9``) so genuine spread at
+    any time scale still scores.
+    """
+
+    def test_true_negative_exactly_constant_intervals(self):
+        detector = StragglerDetector(num_workers=8)
+        _feed_uniform(detector, range(8), interval=1.0)
+        z = detector.z_scores()
+        assert z, "population must be scored, not empty"
+        assert all(value == 0.0 for value in z.values())
+        assert not any(math.isnan(value) for value in z.values())
+        assert detector.stragglers() == []
+
+    def test_true_negative_float_rounding_jitter(self):
+        # Per-worker cadences differing by 1 ulp: sigma is denormal but
+        # nonzero, the case a plain ``sigma == 0`` check misses.
+        detector = StragglerDetector(num_workers=8)
+        for worker in range(8):
+            step = 1.0 + worker * 1e-16
+            ts = 0.0
+            for _ in range(6):
+                ts += step
+                detector.record_push(worker, ts)
+        z = detector.z_scores()
+        assert z and all(value == 0.0 for value in z.values())
+        assert detector.stragglers() == []
+
+    def test_true_positive_survives_at_microsecond_scale(self):
+        # Real spread far above the relative guard must still flag, even
+        # when the absolute sigma is tiny because intervals are tiny.
+        detector = StragglerDetector(num_workers=8)
+        _feed_uniform(detector, range(8), interval=1e-6, skew={5: 4.0})
+        assert detector.stragglers() == [5]
+        assert detector.z_scores()[5] > detector.z_threshold
